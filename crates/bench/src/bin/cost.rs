@@ -1,0 +1,69 @@
+//! Serving-cost estimate: what would running the full TaxoGlimpse
+//! benchmark (all three flavors, all ten taxonomies) cost per model —
+//! dollars for API models, simulated GPU-hours for self-hosted ones?
+//!
+//! ```text
+//! cargo run --release -p taxoglimpse-bench --bin cost [--models GPT-4,Llama-2-70B] [--cap 50]
+//! ```
+
+use taxoglimpse_bench::{build_dataset, RunOptions, TaxonomyCache};
+use taxoglimpse_core::dataset::QuestionDataset;
+use taxoglimpse_core::domain::TaxonomyKind;
+use taxoglimpse_core::eval::Evaluator;
+use taxoglimpse_llm::api::ApiClient;
+use taxoglimpse_llm::profile::ModelId;
+use taxoglimpse_llm::simulate::SimulatedLlm;
+use taxoglimpse_report::table::Table;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let cache = TaxonomyCache::new();
+    let evaluator = Evaluator::default();
+    let models = opts
+        .models
+        .clone()
+        .unwrap_or_else(|| vec![ModelId::Gpt4, ModelId::Gpt35, ModelId::Claude3, ModelId::Llama2_70b, ModelId::FlanT5_3b]);
+
+    let mut table = Table::new(
+        format!("Full-benchmark serving cost (scale {}, all flavors)", opts.scale),
+        vec![
+            "Model".into(),
+            "questions".into(),
+            "prompt tok".into(),
+            "compl. tok".into(),
+            "retries".into(),
+            "sim. hours".into(),
+            "USD".into(),
+        ],
+    );
+
+    for model_id in models {
+        let client = ApiClient::new(SimulatedLlm::new(model_id));
+        let mut questions = 0usize;
+        for kind in TaxonomyKind::ALL {
+            let taxonomy = cache.get(kind, opts.seed, opts.scale_for(kind));
+            for flavor in QuestionDataset::ALL {
+                let dataset = build_dataset(&taxonomy, kind, flavor, &opts);
+                questions += dataset.len();
+                // Accumulate across datasets: bypass the per-run reset.
+                for slice in &dataset.levels {
+                    for q in &slice.questions {
+                        evaluator.ask(&client, q, &slice.exemplars);
+                    }
+                }
+            }
+        }
+        let stats = client.stats();
+        table.push_row(vec![
+            model_id.to_string(),
+            questions.to_string(),
+            stats.prompt_tokens.to_string(),
+            stats.completion_tokens.to_string(),
+            stats.transient_failures.to_string(),
+            format!("{:.2}", stats.simulated_seconds / 3600.0),
+            if stats.cost_usd > 0.0 { format!("${:.2}", stats.cost_usd) } else { "self-hosted".into() },
+        ]);
+    }
+    println!("{}", table.render_ascii());
+    println!("API prices are the 2024 list prices per million tokens; self-hosted models cost GPU time instead.");
+}

@@ -1,0 +1,54 @@
+//! Regenerates **Figure 6** — instance-typing accuracy per target level
+//! on hard datasets, zero-shot, for the six instance-bearing taxonomies
+//! (Amazon, Google, Glottolog, ICD-10-CM, OAE, NCBI).
+//!
+//! ```text
+//! cargo run --release -p taxoglimpse-bench --bin fig6 [--cap 100]
+//! ```
+
+use taxoglimpse_bench::{RunOptions, TaxonomyCache};
+use taxoglimpse_core::dataset::QuestionDataset;
+use taxoglimpse_core::domain::TaxonomyKind;
+use taxoglimpse_core::eval::Evaluator;
+use taxoglimpse_core::instance_typing::InstanceTypingBuilder;
+use taxoglimpse_llm::zoo::ModelZoo;
+use taxoglimpse_report::figures::{Figure, Series};
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let cache = TaxonomyCache::new();
+    let zoo = ModelZoo::default_zoo();
+    let evaluator = Evaluator::default();
+    let models = opts.model_list();
+
+    let mut panel = b'a';
+    for kind in TaxonomyKind::ALL {
+        if !kind.has_instances() {
+            continue;
+        }
+        let taxonomy = cache.get(kind, opts.seed, opts.scale_for(kind));
+        let dataset = InstanceTypingBuilder::new(&taxonomy, kind, opts.seed)
+            .expect("instance-bearing kinds only")
+            .sample_cap(opts.cap)
+            .build(QuestionDataset::Hard)
+            .expect("hard flavor is always defined");
+
+        let mut figure = Figure::new(format!(
+            "Figure 6({}): {} — instance typing accuracy per target level, hard, zero-shot",
+            panel as char,
+            kind.display_name()
+        ));
+        for &model_id in &models {
+            let model = zoo.get(model_id).expect("zoo covers all ids");
+            let report = evaluator.run(model.as_ref(), &dataset);
+            let points = report
+                .accuracy_by_level()
+                .into_iter()
+                .map(|(level, acc)| (format!("to-L{level}"), acc))
+                .collect();
+            figure.push(Series::new(model_id.to_string(), points));
+        }
+        println!("{}", figure.render_text());
+        panel += 1;
+    }
+}

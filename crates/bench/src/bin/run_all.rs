@@ -1,0 +1,32 @@
+//! Runs every experiment in sequence (Tables 1/4/5/6/7, Figures 2–7,
+//! the case study), re-invoking the sibling binaries so each prints its
+//! own artifact.
+//!
+//! ```text
+//! cargo run --release -p taxoglimpse-bench --bin run_all -- --scale 0.05 --cap 100
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let passthrough: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+
+    let binaries = [
+        "table1", "fig2", "table4", "tables567", "fig3", "fig4", "fig5", "fig6", "fig7",
+        "casestudy", "ablation", "maintenance", "cost", "analysis", "leaderboard", "shots",
+    ];
+    for bin in binaries {
+        println!("\n==================== {bin} ====================\n");
+        let status = Command::new(dir.join(bin))
+            .args(&passthrough)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} exited with {status}");
+            std::process::exit(status.code().unwrap_or(1));
+        }
+    }
+    println!("\nall experiments completed");
+}

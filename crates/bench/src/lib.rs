@@ -1,0 +1,212 @@
+//! # taxoglimpse-bench
+//!
+//! Shared plumbing for the experiment binaries. Each paper table/figure
+//! has a binary (`table1`, `table4`, `tables567`, `fig2`–`fig7`,
+//! `casestudy`), plus `run_all`, all accepting:
+//!
+//! ```text
+//! --scale <f64>   taxonomy scale factor (default 1.0 = Table-1 fidelity;
+//!                 NCBI at 1.0 is 2.19M nodes)
+//! --cap <usize>   per-level sample-size cap (default: the paper's
+//!                 Cochran sizes)
+//! --seed <u64>    master seed (default 42)
+//! --models <csv>  restrict to a comma-separated model list
+//! ```
+
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use taxoglimpse_core::dataset::{Dataset, DatasetBuilder, QuestionDataset};
+use taxoglimpse_core::domain::TaxonomyKind;
+use taxoglimpse_llm::profile::ModelId;
+use taxoglimpse_synth::{generate, GenOptions};
+use taxoglimpse_taxonomy::Taxonomy;
+
+/// Common CLI options for the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Taxonomy scale in `(0, 1]`.
+    pub scale: f64,
+    /// Optional per-level sample cap.
+    pub cap: Option<usize>,
+    /// Master seed.
+    pub seed: u64,
+    /// Restrict to these models (`None` = all eighteen).
+    pub models: Option<Vec<ModelId>>,
+    /// Positional arguments left after flag parsing.
+    pub positional: Vec<String>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { scale: 1.0, cap: None, seed: 42, models: None, positional: Vec::new() }
+    }
+}
+
+impl RunOptions {
+    /// Parse from an iterator of CLI arguments (without `argv[0]`).
+    pub fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let mut opts = RunOptions::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    opts.scale = next_value(&mut args, "--scale")?
+                        .parse()
+                        .map_err(|e| format!("--scale: {e}"))?;
+                }
+                "--cap" => {
+                    opts.cap = Some(
+                        next_value(&mut args, "--cap")?
+                            .parse()
+                            .map_err(|e| format!("--cap: {e}"))?,
+                    );
+                }
+                "--seed" => {
+                    opts.seed = next_value(&mut args, "--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--models" => {
+                    let csv = next_value(&mut args, "--models")?;
+                    let mut models = Vec::new();
+                    for name in csv.split(',') {
+                        models.push(name.trim().parse::<ModelId>()?);
+                    }
+                    opts.models = Some(models);
+                }
+                other if other.starts_with("--") => {
+                    return Err(format!("unknown flag {other}"));
+                }
+                positional => opts.positional.push(positional.to_owned()),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// Parse from the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// The models to evaluate.
+    pub fn model_list(&self) -> Vec<ModelId> {
+        self.models.clone().unwrap_or_else(|| ModelId::ALL.to_vec())
+    }
+
+    /// Scale used for one taxonomy. NCBI at full fidelity is 2.19M
+    /// nodes; everything works but callers wanting speed pass --scale.
+    pub fn scale_for(&self, _kind: TaxonomyKind) -> f64 {
+        self.scale
+    }
+}
+
+fn next_value(
+    args: &mut std::iter::Peekable<impl Iterator<Item = String>>,
+    flag: &str,
+) -> Result<String, String> {
+    args.next().ok_or_else(|| format!("{flag} needs a value"))
+}
+
+/// Cache of generated taxonomies so `run_all` builds each only once.
+#[derive(Default)]
+pub struct TaxonomyCache {
+    inner: Mutex<HashMap<(TaxonomyKind, u64, u64), std::sync::Arc<Taxonomy>>>,
+}
+
+impl TaxonomyCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get or generate the taxonomy for `(kind, seed, scale)`.
+    pub fn get(&self, kind: TaxonomyKind, seed: u64, scale: f64) -> std::sync::Arc<Taxonomy> {
+        let key = (kind, seed, scale.to_bits());
+        if let Some(t) = self.inner.lock().expect("cache lock").get(&key) {
+            return t.clone();
+        }
+        let t = std::sync::Arc::new(
+            generate(kind, GenOptions { seed, scale }).expect("valid scale"),
+        );
+        self.inner.lock().expect("cache lock").insert(key, t.clone());
+        t
+    }
+}
+
+/// Build a dataset with the run options applied.
+pub fn build_dataset(
+    taxonomy: &Taxonomy,
+    kind: TaxonomyKind,
+    flavor: QuestionDataset,
+    opts: &RunOptions,
+) -> Dataset {
+    DatasetBuilder::new(taxonomy, kind, opts.seed)
+        .sample_cap(opts.cap)
+        .build(flavor)
+        .expect("benchmark taxonomies always have probe levels")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<RunOptions, String> {
+        RunOptions::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.scale, 1.0);
+        assert_eq!(o.cap, None);
+        assert_eq!(o.seed, 42);
+        assert!(o.models.is_none());
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let o = parse(&["--scale", "0.1", "--cap", "50", "--seed", "7", "--models", "GPT-4, Mistral", "hard"]).unwrap();
+        assert_eq!(o.scale, 0.1);
+        assert_eq!(o.cap, Some(50));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.models, Some(vec![ModelId::Gpt4, ModelId::Mistral7b]));
+        assert_eq!(o.positional, vec!["hard"]);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--models", "GPT-5"]).is_err());
+        assert!(parse(&["--cap", "x"]).is_err());
+    }
+
+    #[test]
+    fn cache_generates_once() {
+        let cache = TaxonomyCache::new();
+        let a = cache.get(TaxonomyKind::Ebay, 1, 1.0);
+        let b = cache.get(TaxonomyKind::Ebay, 1, 1.0);
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+        let c = cache.get(TaxonomyKind::Ebay, 2, 1.0);
+        assert!(!std::sync::Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn build_dataset_applies_cap() {
+        let opts = RunOptions { cap: Some(5), ..RunOptions::default() };
+        let cache = TaxonomyCache::new();
+        let t = cache.get(TaxonomyKind::Ebay, opts.seed, 1.0);
+        let d = build_dataset(&t, TaxonomyKind::Ebay, QuestionDataset::Mcq, &opts);
+        for (_, n) in d.level_counts() {
+            assert!(n <= 5);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Statistical analysis over evaluation results.
+//!
+//! The paper's narrative rests on comparisons ("GPT-4 outperforms…",
+//! "accuracy declines with depth", "popularity predicts accuracy").
+//! This module provides the statistics to make such claims precise:
+//!
+//! * [`two_proportion_z`] — is one model's accuracy significantly higher
+//!   than another's on the same dataset?
+//! * [`spearman`] — rank correlation, e.g. taxonomy popularity vs.
+//!   model accuracy (Finding 1 as a number);
+//! * [`level_trend`] — least-squares slope of accuracy over levels
+//!   (Finding 2 as a number, negative = root-to-leaf decline);
+//! * McNemar-style paired comparison on shared questions.
+
+use crate::eval::EvalReport;
+use crate::metrics::Metrics;
+use serde::{Deserialize, Serialize};
+
+/// Result of a two-proportion z-test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ZTest {
+    /// The z statistic (positive = first proportion larger).
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl ZTest {
+    /// Significant at the 5% level?
+    pub fn significant(&self) -> bool {
+        self.p_value < 0.05
+    }
+}
+
+/// Two-proportion z-test on accuracies (pooled standard error).
+pub fn two_proportion_z(a: &Metrics, b: &Metrics) -> ZTest {
+    let (na, nb) = (a.total() as f64, b.total() as f64);
+    if na == 0.0 || nb == 0.0 {
+        return ZTest { z: 0.0, p_value: 1.0 };
+    }
+    let (pa, pb) = (a.accuracy(), b.accuracy());
+    let pooled = (a.correct + b.correct) as f64 / (na + nb);
+    let se = (pooled * (1.0 - pooled) * (1.0 / na + 1.0 / nb)).sqrt();
+    if se == 0.0 {
+        return ZTest { z: 0.0, p_value: 1.0 };
+    }
+    let z = (pa - pb) / se;
+    ZTest { z, p_value: 2.0 * (1.0 - standard_normal_cdf(z.abs())) }
+}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf
+/// approximation (|error| < 1.5e-7 — plenty for significance testing).
+pub fn standard_normal_cdf(x: f64) -> f64 {
+    0.5 * (1.0 + erf(x / std::f64::consts::SQRT_2))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let y = 1.0
+        - (((((1.061405429 * t - 1.453152027) * t) + 1.421413741) * t - 0.284496736) * t
+            + 0.254829592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Spearman rank correlation of two equally long samples.
+///
+/// Ties get average ranks. Returns 0 for degenerate inputs.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "paired samples must align");
+    let n = xs.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let rx = ranks(xs);
+    let ry = ranks(ys);
+    pearson(&rx, &ry)
+}
+
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..values.len()).collect();
+    order.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; values.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && values[order[j + 1]] == values[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            out[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx) * (x - mx);
+        vy += (y - my) * (y - my);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return 0.0;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Least-squares slope of per-level accuracy over child level — the
+/// paper's root-to-leaf decline as a single number (negative = decline).
+pub fn level_trend(report: &EvalReport) -> f64 {
+    let points: Vec<(f64, f64)> = report
+        .accuracy_by_level()
+        .into_iter()
+        .map(|(level, acc)| (level as f64, acc))
+        .collect();
+    if points.len() < 2 {
+        return 0.0;
+    }
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let num: f64 = points.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+    let den: f64 = points.iter().map(|(x, _)| (x - mx) * (x - mx)).sum();
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::QuestionDataset;
+    use crate::domain::TaxonomyKind;
+    use crate::eval::LevelMetrics;
+    use crate::prompts::PromptSetting;
+
+    fn metrics(correct: usize, wrong: usize) -> Metrics {
+        Metrics { correct, missed: 0, wrong }
+    }
+
+    #[test]
+    fn z_test_detects_clear_gaps() {
+        // 90% vs 60% over 300 questions each: decisively significant.
+        let t = two_proportion_z(&metrics(270, 30), &metrics(180, 120));
+        assert!(t.z > 5.0);
+        assert!(t.significant());
+        // 52% vs 50% over 100 each: not significant.
+        let t2 = two_proportion_z(&metrics(52, 48), &metrics(50, 50));
+        assert!(!t2.significant(), "p = {}", t2.p_value);
+        // Degenerate inputs.
+        let t3 = two_proportion_z(&Metrics::default(), &metrics(5, 5));
+        assert_eq!(t3.p_value, 1.0);
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((standard_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((standard_normal_cdf(1.959_963_985) - 0.975).abs() < 1e-4);
+        assert!((standard_normal_cdf(-1.959_963_985) - 0.025).abs() < 1e-4);
+        assert!(standard_normal_cdf(6.0) > 0.999_999);
+    }
+
+    #[test]
+    fn spearman_basics() {
+        assert!((spearman(&[1.0, 2.0, 3.0], &[10.0, 20.0, 30.0]) - 1.0).abs() < 1e-12);
+        assert!((spearman(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]) + 1.0).abs() < 1e-12);
+        // Monotone but nonlinear is still a perfect rank correlation.
+        assert!((spearman(&[1.0, 2.0, 3.0, 4.0], &[1.0, 8.0, 27.0, 64.0]) - 1.0).abs() < 1e-12);
+        // Ties get average ranks without panicking.
+        let r = spearman(&[1.0, 1.0, 2.0], &[1.0, 2.0, 3.0]);
+        assert!(r > 0.0 && r < 1.0);
+        assert_eq!(spearman(&[], &[]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "paired samples must align")]
+    fn spearman_rejects_mismatched_lengths() {
+        spearman(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn level_trend_detects_decline() {
+        let mk = |accs: &[f64]| EvalReport {
+            model: "m".into(),
+            taxonomy: TaxonomyKind::Ebay,
+            flavor: QuestionDataset::Hard,
+            setting: PromptSetting::ZeroShot,
+            overall: Metrics::default(),
+            by_level: accs
+                .iter()
+                .enumerate()
+                .map(|(i, &a)| LevelMetrics {
+                    child_level: i + 1,
+                    metrics: Metrics {
+                        correct: (a * 1000.0) as usize,
+                        missed: 0,
+                        wrong: 1000 - (a * 1000.0) as usize,
+                    },
+                })
+                .collect(),
+        };
+        assert!(level_trend(&mk(&[0.9, 0.8, 0.7, 0.6])) < -0.05);
+        assert!(level_trend(&mk(&[0.5, 0.6, 0.7])) > 0.05);
+        assert_eq!(level_trend(&mk(&[0.5])), 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Detailed evaluation: per-question records, transcripts, and failure
+//! analysis.
+//!
+//! The paper publishes its full experimental results; this module is the
+//! machinery for that level of artifact. [`DetailedRun`] keeps one
+//! record per question — the rendered prompt, the model's raw text, the
+//! parsed answer and the outcome — supporting:
+//!
+//! * JSONL transcript export ([`DetailedRun::to_jsonl`]),
+//! * failure breakdowns by question polarity and negative regime
+//!   ([`DetailedRun::by_polarity`]), by level, and by surface
+//!   similarity band ([`DetailedRun::by_similarity_band`]) — the
+//!   error-analysis views behind the paper's §4 discussions.
+
+use crate::dataset::Dataset;
+use crate::eval::{score, EvalConfig};
+use crate::metrics::{Metrics, Outcome};
+use crate::model::{LanguageModel, Query};
+use crate::parse::{parse_mcq, parse_tf, ParsedAnswer};
+use crate::prompts::render_prompt;
+use crate::question::{NegativeKind, Question, QuestionBody, QuestionKind};
+use serde::{Deserialize, Serialize};
+
+/// One fully recorded question/answer exchange.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Exchange {
+    /// Question id within its dataset.
+    pub question_id: u64,
+    /// Child level of the question.
+    pub child_level: usize,
+    /// `None` for positives/MCQ, the regime for TF negatives.
+    pub negative: Option<NegativeKind>,
+    /// The rendered prompt sent to the model.
+    pub prompt: String,
+    /// The model's raw response text.
+    pub response: String,
+    /// The parsed answer.
+    pub parsed: ParsedAnswer,
+    /// The scored outcome.
+    pub outcome: Outcome,
+    /// Trigram similarity between the child and the shown candidate —
+    /// the surface-evidence axis of the error analysis.
+    pub similarity: f64,
+}
+
+/// A complete recorded run of one model over one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetailedRun {
+    /// Model name.
+    pub model: String,
+    /// All exchanges, in dataset order.
+    pub exchanges: Vec<Exchange>,
+}
+
+impl DetailedRun {
+    /// Execute `model` over `dataset`, recording everything.
+    pub fn record(model: &dyn LanguageModel, dataset: &Dataset, config: EvalConfig) -> Self {
+        model.reset();
+        let mut exchanges = Vec::with_capacity(dataset.len());
+        for slice in &dataset.levels {
+            for question in &slice.questions {
+                let prompt = render_prompt(question, config.setting, config.variant, &slice.exemplars);
+                let query = Query { prompt: prompt.clone(), question, setting: config.setting };
+                let response = model.answer(&query);
+                let parsed = match question.kind() {
+                    QuestionKind::TrueFalse => parse_tf(&response),
+                    QuestionKind::Mcq => parse_mcq(&response),
+                };
+                exchanges.push(Exchange {
+                    question_id: question.id,
+                    child_level: question.child_level,
+                    negative: negative_of(question),
+                    prompt,
+                    response,
+                    parsed,
+                    outcome: score(question, parsed),
+                    similarity: candidate_similarity(question),
+                });
+            }
+        }
+        DetailedRun { model: model.name().to_owned(), exchanges }
+    }
+
+    /// Aggregate metrics over all exchanges.
+    pub fn overall(&self) -> Metrics {
+        let mut m = Metrics::default();
+        for e in &self.exchanges {
+            m.record(e.outcome);
+        }
+        m
+    }
+
+    /// Metrics split by polarity: `(positives, easy negatives, hard
+    /// negatives)` — the disaggregation the headline tables hide.
+    pub fn by_polarity(&self) -> (Metrics, Metrics, Metrics) {
+        let mut pos = Metrics::default();
+        let mut easy = Metrics::default();
+        let mut hard = Metrics::default();
+        for e in &self.exchanges {
+            match e.negative {
+                None => pos.record(e.outcome),
+                Some(NegativeKind::Easy) => easy.record(e.outcome),
+                Some(NegativeKind::Hard) => hard.record(e.outcome),
+            }
+        }
+        (pos, easy, hard)
+    }
+
+    /// Metrics bucketed by candidate-similarity band:
+    /// `[0, 0.1), [0.1, 0.3), [0.3, 1]` → (low, mid, high).
+    pub fn by_similarity_band(&self) -> (Metrics, Metrics, Metrics) {
+        let mut low = Metrics::default();
+        let mut mid = Metrics::default();
+        let mut high = Metrics::default();
+        for e in &self.exchanges {
+            let bucket = if e.similarity < 0.1 {
+                &mut low
+            } else if e.similarity < 0.3 {
+                &mut mid
+            } else {
+                &mut high
+            };
+            bucket.record(e.outcome);
+        }
+        (low, mid, high)
+    }
+
+    /// The exchanges the model got wrong (for qualitative inspection).
+    pub fn failures(&self) -> impl Iterator<Item = &Exchange> {
+        self.exchanges.iter().filter(|e| e.outcome == Outcome::Wrong)
+    }
+
+    /// Serialize as JSON Lines (one exchange per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in &self.exchanges {
+            out.push_str(&serde_json::to_string(e).expect("exchanges serialize"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a JSONL transcript back.
+    pub fn from_jsonl(model: impl Into<String>, jsonl: &str) -> Result<Self, serde_json::Error> {
+        let exchanges = jsonl
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(serde_json::from_str)
+            .collect::<Result<Vec<Exchange>, _>>()?;
+        Ok(DetailedRun { model: model.into(), exchanges })
+    }
+}
+
+fn negative_of(q: &Question) -> Option<NegativeKind> {
+    match &q.body {
+        QuestionBody::TrueFalse { negative, .. } => *negative,
+        QuestionBody::Mcq { .. } => None,
+    }
+}
+
+/// Trigram Jaccard between the child and the shown candidate (inlined
+/// here so core does not depend on the llm crate).
+fn candidate_similarity(q: &Question) -> f64 {
+    let grams = |s: &str| -> Vec<[u8; 3]> {
+        let lower: Vec<u8> = s.bytes().map(|b| b.to_ascii_lowercase()).collect();
+        if lower.len() < 3 {
+            return Vec::new();
+        }
+        let mut g: Vec<[u8; 3]> = lower.windows(3).map(|w| [w[0], w[1], w[2]]).collect();
+        g.sort_unstable();
+        g.dedup();
+        g
+    };
+    let (a, b) = (grams(&q.child), grams(q.shown_candidate()));
+    if a.is_empty() || b.is_empty() {
+        return if q.child.eq_ignore_ascii_case(q.shown_candidate()) { 1.0 } else { 0.0 };
+    }
+    let inter = a.iter().filter(|g| b.binary_search(g).is_ok()).count();
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetBuilder, QuestionDataset};
+    use crate::domain::TaxonomyKind;
+    use crate::eval::Evaluator;
+    use crate::model::FixedAnswerModel;
+    use taxoglimpse_synth::{generate, GenOptions};
+
+    fn dataset(flavor: QuestionDataset) -> Dataset {
+        let t = generate(TaxonomyKind::Ebay, GenOptions { seed: 80, scale: 1.0 }).unwrap();
+        DatasetBuilder::new(&t, TaxonomyKind::Ebay, 80)
+            .sample_cap(Some(30))
+            .build(flavor)
+            .unwrap()
+    }
+
+    #[test]
+    fn detailed_overall_matches_evaluator() {
+        let d = dataset(QuestionDataset::Hard);
+        let model = FixedAnswerModel::always_yes();
+        let run = DetailedRun::record(&model, &d, EvalConfig::default());
+        let report = Evaluator::default().run(&model, &d);
+        assert_eq!(run.overall(), report.overall);
+        assert_eq!(run.exchanges.len(), d.len());
+    }
+
+    #[test]
+    fn polarity_split_exposes_the_yes_bias() {
+        let d = dataset(QuestionDataset::Hard);
+        let run = DetailedRun::record(&FixedAnswerModel::always_yes(), &d, EvalConfig::default());
+        let (pos, easy, hard) = run.by_polarity();
+        assert_eq!(pos.accuracy(), 1.0, "always-yes aces positives");
+        assert_eq!(hard.accuracy(), 0.0, "and bombs negatives");
+        assert_eq!(easy.total(), 0, "hard dataset has no easy negatives");
+        assert_eq!(pos.total() + hard.total(), d.len());
+    }
+
+    #[test]
+    fn similarity_bands_partition_everything() {
+        let d = dataset(QuestionDataset::Easy);
+        let run = DetailedRun::record(&FixedAnswerModel::always_idk(), &d, EvalConfig::default());
+        let (low, mid, high) = run.by_similarity_band();
+        assert_eq!(low.total() + mid.total() + high.total(), d.len());
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let d = dataset(QuestionDataset::Mcq);
+        let run = DetailedRun::record(&FixedAnswerModel::new("m", "B)"), &d, EvalConfig::default());
+        let jsonl = run.to_jsonl();
+        assert_eq!(jsonl.lines().count(), run.exchanges.len());
+        let back = DetailedRun::from_jsonl("m", &jsonl).unwrap();
+        assert_eq!(back.exchanges.len(), run.exchanges.len());
+        assert_eq!(back.overall(), run.overall());
+        assert!(DetailedRun::from_jsonl("m", "not json\n").is_err());
+    }
+
+    #[test]
+    fn failures_iterates_only_wrong_answers() {
+        let d = dataset(QuestionDataset::Hard);
+        let run = DetailedRun::record(&FixedAnswerModel::always_yes(), &d, EvalConfig::default());
+        let failures: Vec<_> = run.failures().collect();
+        assert_eq!(failures.len(), run.overall().wrong);
+        assert!(failures.iter().all(|e| e.outcome == Outcome::Wrong));
+        // Every failure here is a hard negative answered Yes.
+        assert!(failures.iter().all(|e| e.negative == Some(NegativeKind::Hard)));
+    }
+
+    #[test]
+    fn transcripts_contain_prompts_and_responses() {
+        let d = dataset(QuestionDataset::Hard);
+        let run = DetailedRun::record(&FixedAnswerModel::always_yes(), &d, EvalConfig::default());
+        let e = &run.exchanges[0];
+        assert!(e.prompt.contains("a type of"));
+        assert_eq!(e.response, "Yes.");
+        assert_eq!(e.parsed, ParsedAnswer::Yes);
+    }
+}

@@ -1,0 +1,19 @@
+//! Taxonomy kinds and domains.
+//!
+//! The canonical definitions live in `taxoglimpse-synth` (the lowest
+//! crate that needs them); this module re-exports them so benchmark
+//! users only import from `taxoglimpse-core`.
+
+pub use taxoglimpse_synth::kind::{Domain, TaxonomyKind};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reexports_are_usable() {
+        assert_eq!(TaxonomyKind::ALL.len(), 10);
+        assert_eq!(Domain::ALL.len(), 8);
+        assert_eq!(TaxonomyKind::Ncbi.domain(), Domain::Biology);
+    }
+}

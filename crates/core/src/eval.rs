@@ -1,0 +1,233 @@
+//! The evaluation harness (§4): run a model over a dataset, parse its
+//! free-text answers, and aggregate accuracy / miss rate overall and per
+//! level.
+
+use crate::dataset::{Dataset, QuestionDataset};
+use crate::domain::TaxonomyKind;
+use crate::metrics::{Metrics, Outcome};
+use crate::model::{LanguageModel, Query};
+use crate::parse::{parse_mcq, parse_tf, ParsedAnswer};
+use crate::prompts::{render_prompt, PromptSetting};
+use crate::question::{Question, QuestionBody, QuestionKind};
+use crate::templates::TemplateVariant;
+use serde::{Deserialize, Serialize};
+
+/// Evaluation configuration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// Prompting setting (zero-shot by default).
+    pub setting: PromptSetting,
+    /// Template paraphrase variant (canonical by default).
+    pub variant: TemplateVariant,
+}
+
+/// Metrics for one child level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LevelMetrics {
+    /// Level of the probed children.
+    pub child_level: usize,
+    /// Aggregated outcomes at that level.
+    pub metrics: Metrics,
+}
+
+/// Result of evaluating one model on one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Model name.
+    pub model: String,
+    /// Probed taxonomy.
+    pub taxonomy: TaxonomyKind,
+    /// Dataset flavor.
+    pub flavor: QuestionDataset,
+    /// Prompting setting used.
+    pub setting: PromptSetting,
+    /// All-levels aggregate.
+    pub overall: Metrics,
+    /// Per-level breakdown, shallowest first (Figure 3 series).
+    pub by_level: Vec<LevelMetrics>,
+}
+
+impl EvalReport {
+    /// Accuracy series per level (for Figure 3 / Figure 6 plots).
+    pub fn accuracy_by_level(&self) -> Vec<(usize, f64)> {
+        self.by_level.iter().map(|l| (l.child_level, l.metrics.accuracy())).collect()
+    }
+}
+
+/// Score one parsed answer against the gold answer.
+pub fn score(question: &Question, parsed: ParsedAnswer) -> Outcome {
+    match (&question.body, parsed) {
+        (_, ParsedAnswer::IDontKnow) => Outcome::Missed,
+        (QuestionBody::TrueFalse { expected_yes, .. }, ParsedAnswer::Yes) => {
+            if *expected_yes {
+                Outcome::Correct
+            } else {
+                Outcome::Wrong
+            }
+        }
+        (QuestionBody::TrueFalse { expected_yes, .. }, ParsedAnswer::No) => {
+            if *expected_yes {
+                Outcome::Wrong
+            } else {
+                Outcome::Correct
+            }
+        }
+        (QuestionBody::Mcq { correct, .. }, ParsedAnswer::Option(i)) => {
+            if i == *correct {
+                Outcome::Correct
+            } else {
+                Outcome::Wrong
+            }
+        }
+        // Unparseable or mismatched answer shapes are wrong answers.
+        _ => Outcome::Wrong,
+    }
+}
+
+/// Runs models over datasets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Evaluator {
+    config: EvalConfig,
+}
+
+impl Evaluator {
+    /// Create an evaluator with the given configuration.
+    pub fn new(config: EvalConfig) -> Self {
+        Evaluator { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> EvalConfig {
+        self.config
+    }
+
+    /// Evaluate `model` on every question of `dataset`.
+    pub fn run(&self, model: &dyn LanguageModel, dataset: &Dataset) -> EvalReport {
+        model.reset();
+        let mut overall = Metrics::default();
+        let mut by_level = Vec::with_capacity(dataset.levels.len());
+        for slice in &dataset.levels {
+            let mut level_metrics = Metrics::default();
+            for question in &slice.questions {
+                let outcome = self.ask(model, question, &slice.exemplars);
+                level_metrics.record(outcome);
+            }
+            overall += level_metrics;
+            by_level.push(LevelMetrics { child_level: slice.child_level, metrics: level_metrics });
+        }
+        EvalReport {
+            model: model.name().to_owned(),
+            taxonomy: dataset.taxonomy,
+            flavor: dataset.flavor,
+            setting: self.config.setting,
+            overall,
+            by_level,
+        }
+    }
+
+    /// Ask a single question and score the response.
+    pub fn ask(
+        &self,
+        model: &dyn LanguageModel,
+        question: &Question,
+        exemplars: &[Question],
+    ) -> Outcome {
+        let prompt = render_prompt(question, self.config.setting, self.config.variant, exemplars);
+        let query = Query { prompt, question, setting: self.config.setting };
+        let response = model.answer(&query);
+        let parsed = match question.kind() {
+            QuestionKind::TrueFalse => parse_tf(&response),
+            QuestionKind::Mcq => parse_mcq(&response),
+        };
+        score(question, parsed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::model::FixedAnswerModel;
+    use taxoglimpse_synth::{generate, GenOptions};
+
+    fn hard_dataset() -> Dataset {
+        let t = generate(TaxonomyKind::Ebay, GenOptions { seed: 21, scale: 1.0 }).unwrap();
+        DatasetBuilder::new(&t, TaxonomyKind::Ebay, 21)
+            .sample_cap(Some(40))
+            .build(QuestionDataset::Hard)
+            .unwrap()
+    }
+
+    #[test]
+    fn always_yes_gets_positive_rate_accuracy() {
+        let d = hard_dataset();
+        let report = Evaluator::default().run(&FixedAnswerModel::always_yes(), &d);
+        let positives = d.questions().filter(|q| q.expected_yes() == Some(true)).count();
+        let expected = positives as f64 / d.len() as f64;
+        assert!((report.overall.accuracy() - expected).abs() < 1e-12);
+        assert_eq!(report.overall.miss_rate(), 0.0);
+        assert_eq!(report.overall.total(), d.len());
+    }
+
+    #[test]
+    fn always_idk_has_full_miss_rate() {
+        let d = hard_dataset();
+        let report = Evaluator::default().run(&FixedAnswerModel::always_idk(), &d);
+        assert_eq!(report.overall.accuracy(), 0.0);
+        assert_eq!(report.overall.miss_rate(), 1.0);
+    }
+
+    #[test]
+    fn per_level_metrics_sum_to_overall() {
+        let d = hard_dataset();
+        let report = Evaluator::default().run(&FixedAnswerModel::always_yes(), &d);
+        let mut sum = Metrics::default();
+        for l in &report.by_level {
+            sum += l.metrics;
+        }
+        assert_eq!(sum, report.overall);
+        assert_eq!(report.by_level.len(), d.levels.len());
+    }
+
+    #[test]
+    fn score_matrix() {
+        use crate::question::NegativeKind;
+        let tf_pos = Question {
+            id: 0,
+            taxonomy: TaxonomyKind::Ebay,
+            child: "a".into(),
+            child_level: 1,
+            parent_level: 0,
+            true_parent: "p".into(),
+            instance_typing: false,
+            body: QuestionBody::TrueFalse { candidate: "p".into(), expected_yes: true, negative: None },
+        };
+        let tf_neg = Question {
+            body: QuestionBody::TrueFalse {
+                candidate: "u".into(),
+                expected_yes: false,
+                negative: Some(NegativeKind::Hard),
+            },
+            ..tf_pos.clone()
+        };
+        let mcq = Question {
+            body: QuestionBody::Mcq {
+                options: ["w".into(), "p".into(), "x".into(), "y".into()],
+                correct: 1,
+            },
+            ..tf_pos.clone()
+        };
+        assert_eq!(score(&tf_pos, ParsedAnswer::Yes), Outcome::Correct);
+        assert_eq!(score(&tf_pos, ParsedAnswer::No), Outcome::Wrong);
+        assert_eq!(score(&tf_neg, ParsedAnswer::No), Outcome::Correct);
+        assert_eq!(score(&tf_neg, ParsedAnswer::Yes), Outcome::Wrong);
+        assert_eq!(score(&tf_pos, ParsedAnswer::IDontKnow), Outcome::Missed);
+        assert_eq!(score(&mcq, ParsedAnswer::Option(1)), Outcome::Correct);
+        assert_eq!(score(&mcq, ParsedAnswer::Option(0)), Outcome::Wrong);
+        assert_eq!(score(&mcq, ParsedAnswer::IDontKnow), Outcome::Missed);
+        assert_eq!(score(&mcq, ParsedAnswer::Unparsed), Outcome::Wrong);
+        // Answer-shape mismatches are wrong.
+        assert_eq!(score(&tf_pos, ParsedAnswer::Option(0)), Outcome::Wrong);
+        assert_eq!(score(&mcq, ParsedAnswer::Yes), Outcome::Wrong);
+    }
+}

@@ -1,0 +1,172 @@
+//! Parallel grid evaluation.
+//!
+//! Tables 5–7 evaluate a (model × taxonomy) grid — hundreds of thousands
+//! of independent queries. [`GridRunner`] fans the grid's cells out over
+//! a scoped thread pool (cells are embarrassingly parallel; every model
+//! is `Send + Sync` and deterministic, so parallel results are
+//! byte-identical to sequential ones).
+
+use crate::dataset::Dataset;
+use crate::eval::{EvalConfig, EvalReport, Evaluator};
+use crate::model::LanguageModel;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One grid cell: which model to run on which dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct GridCell {
+    /// Index into the runner's model list.
+    pub model: usize,
+    /// Index into the runner's dataset list.
+    pub dataset: usize,
+}
+
+/// Fans (model × dataset) evaluations out over worker threads.
+#[derive(Debug, Clone, Copy)]
+pub struct GridRunner {
+    config: EvalConfig,
+    threads: usize,
+}
+
+impl GridRunner {
+    /// A runner using up to `threads` workers (clamped to ≥ 1).
+    pub fn new(config: EvalConfig, threads: usize) -> Self {
+        GridRunner { config, threads: threads.max(1) }
+    }
+
+    /// A runner sized to the machine's available parallelism.
+    pub fn with_available_parallelism(config: EvalConfig) -> Self {
+        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        Self::new(config, threads)
+    }
+
+    /// Evaluate the full cross product of `models` × `datasets`.
+    ///
+    /// Results are returned in deterministic row-major order
+    /// (`models[0]` on every dataset, then `models[1]`, and so on),
+    /// regardless
+    /// of scheduling.
+    pub fn run_cross(
+        &self,
+        models: &[&dyn LanguageModel],
+        datasets: &[&Dataset],
+    ) -> Vec<EvalReport> {
+        let cells: Vec<GridCell> = (0..models.len())
+            .flat_map(|m| (0..datasets.len()).map(move |d| GridCell { model: m, dataset: d }))
+            .collect();
+        self.run_cells(models, datasets, &cells)
+    }
+
+    /// Evaluate an explicit list of cells (deduplicated order preserved).
+    pub fn run_cells(
+        &self,
+        models: &[&dyn LanguageModel],
+        datasets: &[&Dataset],
+        cells: &[GridCell],
+    ) -> Vec<EvalReport> {
+        let evaluator = Evaluator::new(self.config);
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<EvalReport>>> = Mutex::new(vec![None; cells.len()]);
+
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..self.threads.min(cells.len().max(1)) {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let cell = cells[i];
+                    let report = evaluator.run(models[cell.model], datasets[cell.dataset]);
+                    results.lock().expect("no panics while holding the lock")[i] = Some(report);
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+
+        results
+            .into_inner()
+            .expect("scope joined all workers")
+            .into_iter()
+            .map(|r| r.expect("every cell was processed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetBuilder, QuestionDataset};
+    use crate::domain::TaxonomyKind;
+    use crate::model::FixedAnswerModel;
+    use taxoglimpse_synth::{generate, GenOptions};
+
+    fn datasets() -> Vec<Dataset> {
+        [TaxonomyKind::Ebay, TaxonomyKind::GeoNames]
+            .into_iter()
+            .map(|kind| {
+                let t = generate(kind, GenOptions { seed: 11, scale: 1.0 }).unwrap();
+                DatasetBuilder::new(&t, kind, 11)
+                    .sample_cap(Some(40))
+                    .build(QuestionDataset::Hard)
+                    .unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let ds = datasets();
+        let dataset_refs: Vec<&Dataset> = ds.iter().collect();
+        let yes = FixedAnswerModel::always_yes();
+        let idk = FixedAnswerModel::always_idk();
+        let models: Vec<&dyn LanguageModel> = vec![&yes, &idk];
+
+        let sequential: Vec<EvalReport> = models
+            .iter()
+            .flat_map(|m| {
+                dataset_refs
+                    .iter()
+                    .map(|d| Evaluator::new(EvalConfig::default()).run(*m, d))
+            })
+            .collect();
+        let parallel = GridRunner::new(EvalConfig::default(), 4).run_cross(&models, &dataset_refs);
+
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p.overall, s.overall);
+            assert_eq!(p.model, s.model);
+            assert_eq!(p.taxonomy, s.taxonomy);
+        }
+    }
+
+    #[test]
+    fn single_thread_still_works() {
+        let ds = datasets();
+        let dataset_refs: Vec<&Dataset> = ds.iter().collect();
+        let yes = FixedAnswerModel::always_yes();
+        let models: Vec<&dyn LanguageModel> = vec![&yes];
+        let reports = GridRunner::new(EvalConfig::default(), 1).run_cross(&models, &dataset_refs);
+        assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn explicit_cells_preserve_order() {
+        let ds = datasets();
+        let dataset_refs: Vec<&Dataset> = ds.iter().collect();
+        let yes = FixedAnswerModel::always_yes();
+        let models: Vec<&dyn LanguageModel> = vec![&yes];
+        let cells = vec![
+            GridCell { model: 0, dataset: 1 },
+            GridCell { model: 0, dataset: 0 },
+        ];
+        let reports = GridRunner::new(EvalConfig::default(), 8).run_cells(&models, &dataset_refs, &cells);
+        assert_eq!(reports[0].taxonomy, TaxonomyKind::GeoNames);
+        assert_eq!(reports[1].taxonomy, TaxonomyKind::Ebay);
+    }
+
+    #[test]
+    fn empty_grid_is_fine() {
+        let reports = GridRunner::new(EvalConfig::default(), 4).run_cells(&[], &[], &[]);
+        assert!(reports.is_empty());
+    }
+}

@@ -1,0 +1,57 @@
+//! # taxoglimpse-core
+//!
+//! The TaxoGlimpse benchmark itself — the primary contribution of the
+//! paper *"Are Large Language Models a Good Replacement of Taxonomies?"*
+//! (VLDB 2024):
+//!
+//! * **Question design** (§2.2): True/False and MCQ templates per domain
+//!   ([`templates`]), positive / negative-easy / negative-hard / MCQ
+//!   generation ([`qgen`]).
+//! * **Sampling** : Cochran sample sizes at 95% confidence / 5% margin
+//!   with finite-population correction ([`sampling`]) — reproduces the
+//!   per-level dataset sizes of the paper's Table 4.
+//! * **Datasets**: Easy, Hard and MCQ datasets per taxonomy level
+//!   ([`dataset`]).
+//! * **Prompting settings** (§4.4): zero-shot, five-shot and
+//!   chain-of-thought rendering ([`prompts`], the paper's Figure 5).
+//! * **Model interface**: the [`model::LanguageModel`] trait takes
+//!   rendered prompt text and returns free natural-language text, which
+//!   the harness parses with [`parse`].
+//! * **Metrics** (§3.3): accuracy *A* and miss rate *M* ([`metrics`]).
+//! * **Evaluation harness** (§4): [`eval::Evaluator`] producing overall
+//!   and per-level reports.
+//! * **Instance typing** (§4.5): [`instance_typing`].
+//! * **Case study** (§5.3): hybrid LLM + truncated-taxonomy product
+//!   retrieval with precision/recall accounting ([`casestudy`]).
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod casestudy;
+pub mod dataset;
+pub mod detailed;
+pub mod domain;
+pub mod enrich;
+pub mod eval;
+pub mod grid;
+pub mod hybrid;
+pub mod instance_typing;
+pub mod metrics;
+pub mod model;
+pub mod parse;
+pub mod prompts;
+pub mod qgen;
+pub mod question;
+pub mod sampling;
+pub mod store;
+pub mod templates;
+
+pub use dataset::{Dataset, DatasetBuilder, QuestionDataset};
+pub use domain::{Domain, TaxonomyKind};
+pub use eval::{EvalConfig, EvalReport, Evaluator};
+pub use grid::GridRunner;
+pub use hybrid::HybridTaxonomy;
+pub use metrics::Metrics;
+pub use model::{LanguageModel, Query};
+pub use prompts::PromptSetting;
+pub use question::{NegativeKind, Question, QuestionBody, QuestionKind};

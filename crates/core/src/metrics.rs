@@ -1,0 +1,191 @@
+//! Evaluation metrics (§3.3): accuracy *A* and miss rate *M*.
+//!
+//! *A* = correct answers / all questions; *M* = "I don't know" answers /
+//! all questions. A good model has high *A* with low *M*. Unparseable
+//! responses count as wrong answers, not misses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Aggregated outcome counts plus the derived metrics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Questions answered correctly.
+    pub correct: usize,
+    /// Questions answered "I don't know".
+    pub missed: usize,
+    /// Questions answered incorrectly (including unparseable output).
+    pub wrong: usize,
+}
+
+impl Metrics {
+    /// Total questions seen.
+    pub fn total(&self) -> usize {
+        self.correct + self.missed + self.wrong
+    }
+
+    /// Accuracy *A*: correct / total (0 for an empty set).
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.correct, self.total())
+    }
+
+    /// Miss rate *M*: misses / total (0 for an empty set).
+    pub fn miss_rate(&self) -> f64 {
+        ratio(self.missed, self.total())
+    }
+
+    /// Accuracy among answered (non-missed) questions; the conditional
+    /// quantity the knowledge models are calibrated in.
+    pub fn conditional_accuracy(&self) -> f64 {
+        ratio(self.correct, self.correct + self.wrong)
+    }
+
+    /// Record one outcome.
+    pub fn record(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Correct => self.correct += 1,
+            Outcome::Missed => self.missed += 1,
+            Outcome::Wrong => self.wrong += 1,
+        }
+    }
+
+    /// 95% Wilson score interval for the accuracy — the right interval
+    /// for proportions at the benchmark's sample sizes (a few hundred
+    /// questions per level), where the normal approximation misbehaves
+    /// near 0 and 1. Returns `(low, high)`; `(0, 1)` for an empty set.
+    pub fn accuracy_ci95(&self) -> (f64, f64) {
+        wilson_ci(self.correct, self.total(), 1.959_963_985)
+    }
+
+    /// 95% Wilson interval for the miss rate.
+    pub fn miss_ci95(&self) -> (f64, f64) {
+        wilson_ci(self.missed, self.total(), 1.959_963_985)
+    }
+}
+
+/// Wilson score interval for `successes / trials` at z-score `z`.
+pub fn wilson_ci(successes: usize, trials: usize, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
+impl AddAssign for Metrics {
+    fn add_assign(&mut self, rhs: Metrics) {
+        self.correct += rhs.correct;
+        self.missed += rhs.missed;
+        self.wrong += rhs.wrong;
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "A={:.3} M={:.3} (n={})", self.accuracy(), self.miss_rate(), self.total())
+    }
+}
+
+/// Outcome of one question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// Parsed answer matched the gold answer.
+    Correct,
+    /// Explicit abstention.
+    Missed,
+    /// Anything else.
+    Wrong,
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let m = Metrics { correct: 80, missed: 5, wrong: 15 };
+        assert_eq!(m.total(), 100);
+        assert!((m.accuracy() - 0.80).abs() < 1e-12);
+        assert!((m.miss_rate() - 0.05).abs() < 1e-12);
+        assert!((m.conditional_accuracy() - 80.0 / 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::default();
+        assert_eq!(m.accuracy(), 0.0);
+        assert_eq!(m.miss_rate(), 0.0);
+        assert_eq!(m.conditional_accuracy(), 0.0);
+    }
+
+    #[test]
+    fn record_and_accumulate() {
+        let mut m = Metrics::default();
+        m.record(Outcome::Correct);
+        m.record(Outcome::Missed);
+        m.record(Outcome::Wrong);
+        m.record(Outcome::Correct);
+        assert_eq!(m, Metrics { correct: 2, missed: 1, wrong: 1 });
+
+        let mut total = Metrics::default();
+        total += m;
+        total += m;
+        assert_eq!(total.total(), 8);
+        assert_eq!(total.correct, 4);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let m = Metrics { correct: 1, missed: 0, wrong: 1 };
+        assert_eq!(m.to_string(), "A=0.500 M=0.000 (n=2)");
+    }
+
+    #[test]
+    fn wilson_interval_properties() {
+        // Contains the point estimate and stays in [0, 1].
+        for (s, n) in [(0usize, 10usize), (5, 10), (10, 10), (80, 100), (384, 385)] {
+            let (lo, hi) = wilson_ci(s, n, 1.96);
+            let p = s as f64 / n as f64;
+            assert!(lo <= p + 1e-12 && p <= hi + 1e-12, "{s}/{n}: [{lo}, {hi}]");
+            assert!((0.0..=1.0).contains(&lo) && (0.0..=1.0).contains(&hi));
+        }
+        // Shrinks with n.
+        let (lo_small, hi_small) = wilson_ci(8, 10, 1.96);
+        let (lo_big, hi_big) = wilson_ci(800, 1000, 1.96);
+        assert!(hi_big - lo_big < hi_small - lo_small);
+        // Empty set is the trivial interval.
+        assert_eq!(wilson_ci(0, 0, 1.96), (0.0, 1.0));
+    }
+
+    #[test]
+    fn metrics_expose_cis() {
+        let m = Metrics { correct: 90, missed: 5, wrong: 5 };
+        let (lo, hi) = m.accuracy_ci95();
+        assert!(lo < 0.9 && 0.9 < hi);
+        assert!(hi - lo < 0.15);
+        let (mlo, mhi) = m.miss_ci95();
+        assert!(mlo < 0.05 && 0.05 < mhi);
+    }
+
+    /// A Cochran-sized sample (385) gives the ±5% margin the paper's
+    /// sampling is designed for.
+    #[test]
+    fn cochran_sample_yields_five_point_margin() {
+        let (lo, hi) = wilson_ci(193, 385, 1.96); // p ≈ 0.5, worst case
+        assert!((hi - lo) / 2.0 < 0.052, "half-width {}", (hi - lo) / 2.0);
+    }
+}

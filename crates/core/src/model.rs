@@ -1,0 +1,121 @@
+//! The model interface the harness evaluates against.
+
+use crate::prompts::PromptSetting;
+use crate::question::Question;
+
+/// Everything a model receives for one benchmark query.
+///
+/// A remote API model would look only at [`Query::prompt`]; simulated
+/// models additionally inspect the structured question (the stand-in for
+/// what a real LLM absorbed from its training data about these
+/// entities).
+#[derive(Debug, Clone)]
+pub struct Query<'q> {
+    /// The fully rendered prompt text (templates + prompting setting).
+    pub prompt: String,
+    /// The structured question behind the prompt.
+    pub question: &'q Question,
+    /// The prompting setting in force.
+    pub setting: PromptSetting,
+}
+
+/// A language model under evaluation.
+///
+/// Implementations return *free natural-language text*; the harness
+/// parses it with [`crate::parse`]. This mirrors the paper's setup where
+/// models answer "Yes", "No", "I don't know" or an option letter in
+/// whatever phrasing they like.
+pub trait LanguageModel: Send + Sync {
+    /// Model name as printed in result tables (e.g. "GPT-4").
+    fn name(&self) -> &str;
+
+    /// Answer one query with free text.
+    fn answer(&self, query: &Query<'_>) -> String;
+
+    /// Reset any per-run state (default: no-op). Called by the evaluator
+    /// before each dataset run.
+    fn reset(&self) {}
+}
+
+/// Blanket implementation so `Box<dyn LanguageModel>` works wherever a
+/// `&dyn LanguageModel` is expected.
+impl<M: LanguageModel + ?Sized> LanguageModel for Box<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn answer(&self, query: &Query<'_>) -> String {
+        (**self).answer(query)
+    }
+
+    fn reset(&self) {
+        (**self).reset()
+    }
+}
+
+/// A trivial model that always answers a fixed string. Useful as a
+/// baseline ("always yes"), for parser tests, and in examples.
+#[derive(Debug, Clone)]
+pub struct FixedAnswerModel {
+    name: String,
+    answer: String,
+}
+
+impl FixedAnswerModel {
+    /// A model that answers `answer` to everything.
+    pub fn new(name: impl Into<String>, answer: impl Into<String>) -> Self {
+        FixedAnswerModel { name: name.into(), answer: answer.into() }
+    }
+
+    /// The classic always-Yes baseline.
+    pub fn always_yes() -> Self {
+        Self::new("always-yes", "Yes.")
+    }
+
+    /// A maximally conservative model.
+    pub fn always_idk() -> Self {
+        Self::new("always-idk", "I don't know.")
+    }
+}
+
+impl LanguageModel for FixedAnswerModel {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn answer(&self, _query: &Query<'_>) -> String {
+        self.answer.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::TaxonomyKind;
+    use crate::question::QuestionBody;
+
+    #[test]
+    fn fixed_model_answers_fixed() {
+        let m = FixedAnswerModel::always_yes();
+        let q = Question {
+            id: 0,
+            taxonomy: TaxonomyKind::Ebay,
+            child: "a".into(),
+            child_level: 1,
+            parent_level: 0,
+            true_parent: "b".into(),
+            instance_typing: false,
+            body: QuestionBody::TrueFalse { candidate: "b".into(), expected_yes: true, negative: None },
+        };
+        let query = Query { prompt: "p".into(), question: &q, setting: PromptSetting::ZeroShot };
+        assert_eq!(m.answer(&query), "Yes.");
+        assert_eq!(m.name(), "always-yes");
+        m.reset();
+    }
+
+    #[test]
+    fn boxed_models_delegate() {
+        let m: Box<dyn LanguageModel> = Box::new(FixedAnswerModel::always_idk());
+        assert_eq!(m.name(), "always-idk");
+    }
+}

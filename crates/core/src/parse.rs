@@ -1,0 +1,205 @@
+//! Free-text answer extraction.
+//!
+//! Models answer in whatever phrasing they like ("Yes, X is a type of
+//! Y.", "The correct answer is B) Audio.", "I don't know the answer to
+//! that."); the harness normalizes those into [`ParsedAnswer`]s. A
+//! response that cannot be parsed counts as *wrong* (not as a miss),
+//! matching the paper's accuracy/miss bookkeeping where only explicit
+//! abstentions are misses.
+
+use serde::{Deserialize, Serialize};
+
+/// Normalized model answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParsedAnswer {
+    /// Affirmative.
+    Yes,
+    /// Negative.
+    No,
+    /// Explicit abstention ("I don't know").
+    IDontKnow,
+    /// MCQ option index 0–3.
+    Option(u8),
+    /// Unintelligible response.
+    Unparsed,
+}
+
+/// Parse a True/False response.
+pub fn parse_tf(response: &str) -> ParsedAnswer {
+    let lower = response.trim().to_ascii_lowercase();
+    if lower.is_empty() {
+        return ParsedAnswer::Unparsed;
+    }
+    // Abstentions first: "i don't know", "i do not know", "not sure",
+    // "cannot determine", "unsure".
+    if lower.contains("don't know")
+        || lower.contains("dont know")
+        || lower.contains("do not know")
+        || lower.contains("not sure")
+        || lower.contains("unsure")
+        || lower.contains("cannot determine")
+        || lower.contains("can't determine")
+        || lower.contains("cannot say")
+        || lower.contains("uncertain")
+    {
+        return ParsedAnswer::IDontKnow;
+    }
+    // Word-boundary scan for the first decisive token. "no" must be a
+    // whole word so "know"/"north" do not trigger it.
+    for token in lower.split(|c: char| !c.is_ascii_alphanumeric()) {
+        match token {
+            "yes" | "yeah" | "yep" | "correct" | "true" => return ParsedAnswer::Yes,
+            "no" | "nope" | "incorrect" | "false" => return ParsedAnswer::No,
+            _ => {}
+        }
+    }
+    ParsedAnswer::Unparsed
+}
+
+/// Parse an MCQ response into an option index.
+pub fn parse_mcq(response: &str) -> ParsedAnswer {
+    let trimmed = response.trim();
+    if trimmed.is_empty() {
+        return ParsedAnswer::Unparsed;
+    }
+    let lower = trimmed.to_ascii_lowercase();
+    if lower.contains("don't know")
+        || lower.contains("dont know")
+        || lower.contains("do not know")
+        || lower.contains("not sure")
+        || lower.contains("none of")
+        || lower.contains("cannot determine")
+    {
+        return ParsedAnswer::IDontKnow;
+    }
+
+    // Pattern 1: "answer is X" / "option X" / "choose X".
+    for marker in ["answer is ", "answer: ", "option ", "choose ", "select ", "pick "] {
+        if let Some(pos) = lower.find(marker) {
+            if let Some(opt) = letter_at(&lower[pos + marker.len()..]) {
+                return ParsedAnswer::Option(opt);
+            }
+        }
+    }
+
+    // Pattern 2: a leading letter possibly wrapped in punctuation:
+    // "B", "B)", "(b)", "b.", "B) Audio".
+    let stripped = lower.trim_start_matches(['(', '[', '"', '\'', ' ']);
+    if let Some(opt) = letter_at(stripped) {
+        return ParsedAnswer::Option(opt);
+    }
+
+    // Pattern 3: anywhere a standalone "x)" appears.
+    let bytes = lower.as_bytes();
+    for i in 0..bytes.len().saturating_sub(1) {
+        if bytes[i + 1] == b')' && (b'a'..=b'd').contains(&bytes[i]) {
+            let preceded_ok = i == 0 || !bytes[i - 1].is_ascii_alphanumeric();
+            if preceded_ok {
+                return ParsedAnswer::Option(bytes[i] - b'a');
+            }
+        }
+    }
+
+    ParsedAnswer::Unparsed
+}
+
+/// If `s` starts with an option letter a–d followed by a non-alphanumeric
+/// boundary (or end of string), return its index.
+fn letter_at(s: &str) -> Option<u8> {
+    let mut chars = s.chars();
+    let first = chars.next()?;
+    let idx = match first.to_ascii_lowercase() {
+        'a' => 0,
+        'b' => 1,
+        'c' => 2,
+        'd' => 3,
+        _ => return None,
+    };
+    match chars.next() {
+        None => Some(idx),
+        Some(c) if !c.is_ascii_alphanumeric() => Some(idx),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tf_plain_forms() {
+        assert_eq!(parse_tf("Yes"), ParsedAnswer::Yes);
+        assert_eq!(parse_tf("yes."), ParsedAnswer::Yes);
+        assert_eq!(parse_tf("No"), ParsedAnswer::No);
+        assert_eq!(parse_tf("NO!"), ParsedAnswer::No);
+        assert_eq!(parse_tf("I don't know"), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_tf("I do not know."), ParsedAnswer::IDontKnow);
+    }
+
+    #[test]
+    fn tf_verbose_forms() {
+        assert_eq!(parse_tf("Yes, Hailu is a type of Hakka-Chinese."), ParsedAnswer::Yes);
+        assert_eq!(parse_tf("No, that is not correct."), ParsedAnswer::No);
+        assert_eq!(parse_tf("Sure! The answer is: Yes"), ParsedAnswer::Yes);
+        assert_eq!(parse_tf("That is true."), ParsedAnswer::Yes);
+        assert_eq!(parse_tf("False."), ParsedAnswer::No);
+        assert_eq!(
+            parse_tf("As an AI, I am not sure about this taxonomy."),
+            ParsedAnswer::IDontKnow
+        );
+    }
+
+    #[test]
+    fn tf_know_does_not_mean_no() {
+        assert_eq!(parse_tf("I know this one: yes"), ParsedAnswer::Yes);
+        // "know" alone must not parse as "no".
+        assert_eq!(parse_tf("know"), ParsedAnswer::Unparsed);
+        assert_eq!(parse_tf("North is a direction"), ParsedAnswer::Unparsed);
+    }
+
+    #[test]
+    fn tf_garbage_is_unparsed() {
+        assert_eq!(parse_tf(""), ParsedAnswer::Unparsed);
+        assert_eq!(parse_tf("lorem ipsum dolor"), ParsedAnswer::Unparsed);
+        assert_eq!(parse_tf("   "), ParsedAnswer::Unparsed);
+    }
+
+    #[test]
+    fn tf_first_decisive_token_wins() {
+        assert_eq!(parse_tf("Yes. No. Maybe."), ParsedAnswer::Yes);
+        assert_eq!(parse_tf("No — although some say yes."), ParsedAnswer::No);
+    }
+
+    #[test]
+    fn mcq_letter_forms() {
+        assert_eq!(parse_mcq("B"), ParsedAnswer::Option(1));
+        assert_eq!(parse_mcq("b)"), ParsedAnswer::Option(1));
+        assert_eq!(parse_mcq("(C)"), ParsedAnswer::Option(2));
+        assert_eq!(parse_mcq("D."), ParsedAnswer::Option(3));
+        assert_eq!(parse_mcq("A) Audio"), ParsedAnswer::Option(0));
+    }
+
+    #[test]
+    fn mcq_verbose_forms() {
+        assert_eq!(parse_mcq("The answer is B."), ParsedAnswer::Option(1));
+        assert_eq!(parse_mcq("I would choose c) because it fits."), ParsedAnswer::Option(2));
+        assert_eq!(parse_mcq("The most appropriate option is therefore d)."), ParsedAnswer::Option(3));
+        assert_eq!(parse_mcq("answer: a"), ParsedAnswer::Option(0));
+    }
+
+    #[test]
+    fn mcq_abstentions_and_garbage() {
+        assert_eq!(parse_mcq("I don't know."), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_mcq("None of the above."), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_mcq(""), ParsedAnswer::Unparsed);
+        assert_eq!(parse_mcq("The options all look wrong"), ParsedAnswer::Unparsed);
+    }
+
+    #[test]
+    fn mcq_does_not_misread_words_starting_with_letters() {
+        // "Audio" starts with 'a' but is not an option reference.
+        assert_eq!(parse_mcq("Audio equipment is nice"), ParsedAnswer::Unparsed);
+        // "cab)" should not match 'b' because it is preceded by a letter.
+        assert_eq!(parse_mcq("the cab) arrived"), ParsedAnswer::Unparsed);
+    }
+}

@@ -1,0 +1,171 @@
+//! Prompting settings (§4.4, Figure 5): zero-shot, few-shot (five
+//! exemplars with balanced Yes/No), and Chain-of-Thoughts ("Let's think
+//! step by step.").
+
+use crate::question::{GoldAnswer, Question};
+use crate::templates::{render_question, TemplateVariant};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The three prompting settings evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum PromptSetting {
+    /// Ask the question directly.
+    #[default]
+    ZeroShot,
+    /// Prepend five exemplar question/answer pairs (Figure 5, top).
+    FewShot,
+    /// Append "Let's think step by step." (Figure 5, bottom).
+    ChainOfThought,
+}
+
+impl PromptSetting {
+    /// All three settings.
+    pub const ALL: [PromptSetting; 3] =
+        [PromptSetting::ZeroShot, PromptSetting::FewShot, PromptSetting::ChainOfThought];
+
+    /// Number of exemplars used by [`PromptSetting::FewShot`].
+    pub const SHOTS: usize = 5;
+}
+
+impl fmt::Display for PromptSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PromptSetting::ZeroShot => "zero-shot",
+            PromptSetting::FewShot => "few-shot",
+            PromptSetting::ChainOfThought => "CoT",
+        })
+    }
+}
+
+/// Render a gold answer the way the exemplar block of Figure 5 does.
+pub fn render_gold(gold: GoldAnswer) -> String {
+    match gold {
+        GoldAnswer::Yes => "Yes.".to_owned(),
+        GoldAnswer::No => "No.".to_owned(),
+        GoldAnswer::Option(i) => format!("{})", (b'A' + i) as char),
+    }
+}
+
+/// Render the full prompt for `question` under `setting`, drawing up to
+/// [`PromptSetting::SHOTS`] few-shot exemplars from `exemplars`.
+pub fn render_prompt(
+    question: &Question,
+    setting: PromptSetting,
+    variant: TemplateVariant,
+    exemplars: &[Question],
+) -> String {
+    render_prompt_n(question, setting, variant, exemplars, PromptSetting::SHOTS)
+}
+
+/// Like [`render_prompt`] with an explicit few-shot exemplar count
+/// (used by shot-count sweeps; ignored outside the few-shot setting).
+pub fn render_prompt_n(
+    question: &Question,
+    setting: PromptSetting,
+    variant: TemplateVariant,
+    exemplars: &[Question],
+    shots: usize,
+) -> String {
+    let body = render_question(question, variant);
+    match setting {
+        PromptSetting::ZeroShot => body,
+        PromptSetting::ChainOfThought => format!("{body} Let's think step by step."),
+        PromptSetting::FewShot => {
+            let mut out = String::with_capacity(body.len() * (shots + 1));
+            for e in exemplars.iter().take(shots) {
+                out.push_str("Example: ");
+                out.push_str(&render_question(e, variant));
+                out.push(' ');
+                out.push_str(&render_gold(e.gold()));
+                out.push('\n');
+            }
+            out.push_str(&body);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::TaxonomyKind;
+    use crate::question::QuestionBody;
+
+    fn q(child: &str, candidate: &str, yes: bool) -> Question {
+        Question {
+            id: 0,
+            taxonomy: TaxonomyKind::Ncbi,
+            child: child.into(),
+            child_level: 6,
+            parent_level: 5,
+            true_parent: "Verbascum".into(),
+            instance_typing: false,
+            body: QuestionBody::TrueFalse {
+                candidate: candidate.into(),
+                expected_yes: yes,
+                negative: None,
+            },
+        }
+    }
+
+    #[test]
+    fn zero_shot_is_just_the_question() {
+        let p = render_prompt(&q("Verbascum chaixii", "Verbascum", true), PromptSetting::ZeroShot, TemplateVariant::Canonical, &[]);
+        assert_eq!(p, "Is Verbascum chaixii a type of Verbascum? answer with (Yes/No/I don't know)");
+    }
+
+    #[test]
+    fn cot_appends_the_figure_5_suffix() {
+        let p = render_prompt(&q("a", "b", true), PromptSetting::ChainOfThought, TemplateVariant::Canonical, &[]);
+        assert!(p.ends_with("Let's think step by step."));
+    }
+
+    #[test]
+    fn few_shot_prepends_up_to_five_examples() {
+        let exemplars: Vec<Question> = (0..8)
+            .map(|i| q(&format!("c{i}"), &format!("p{i}"), i % 2 == 0))
+            .collect();
+        let p = render_prompt(&q("x", "y", true), PromptSetting::FewShot, TemplateVariant::Canonical, &exemplars);
+        assert_eq!(p.matches("Example: ").count(), 5);
+        assert!(p.contains("Yes.\n") || p.contains("Yes.\nExample"));
+        assert!(p.contains("No."));
+        assert!(p.trim_end().ends_with("(Yes/No/I don't know)"));
+        // The target question comes last, unprefixed.
+        assert!(p.lines().last().unwrap().starts_with("Is x a type of y?"));
+    }
+
+    #[test]
+    fn few_shot_with_no_exemplars_degenerates_to_zero_shot() {
+        let p = render_prompt(&q("x", "y", true), PromptSetting::FewShot, TemplateVariant::Canonical, &[]);
+        assert_eq!(p, render_prompt(&q("x", "y", true), PromptSetting::ZeroShot, TemplateVariant::Canonical, &[]));
+    }
+
+    #[test]
+    fn shot_count_is_configurable() {
+        let exemplars: Vec<Question> = (0..10)
+            .map(|i| q(&format!("c{i}"), &format!("p{i}"), i % 2 == 0))
+            .collect();
+        for shots in [0usize, 1, 3, 5, 8] {
+            let p = render_prompt_n(
+                &q("x", "y", true),
+                PromptSetting::FewShot,
+                TemplateVariant::Canonical,
+                &exemplars,
+                shots,
+            );
+            assert_eq!(p.matches("Example: ").count(), shots, "shots = {shots}");
+        }
+        // Shot count is irrelevant outside few-shot.
+        let z = render_prompt_n(&q("x", "y", true), PromptSetting::ZeroShot, TemplateVariant::Canonical, &exemplars, 9);
+        assert!(!z.contains("Example"));
+    }
+
+    #[test]
+    fn gold_rendering() {
+        assert_eq!(render_gold(GoldAnswer::Yes), "Yes.");
+        assert_eq!(render_gold(GoldAnswer::No), "No.");
+        assert_eq!(render_gold(GoldAnswer::Option(0)), "A)");
+        assert_eq!(render_gold(GoldAnswer::Option(3)), "D)");
+    }
+}

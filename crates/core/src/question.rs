@@ -1,0 +1,184 @@
+//! Question data model.
+
+use crate::domain::TaxonomyKind;
+use serde::{Deserialize, Serialize};
+
+/// Which negative-sampling regime produced a negative question (§2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NegativeKind {
+    /// Candidate parent drawn uniformly from the parent level minus the
+    /// true parent.
+    Easy,
+    /// Candidate parent drawn from the child's *uncles* (siblings of the
+    /// true parent) — surface-similar, therefore hard.
+    Hard,
+}
+
+/// Coarse question family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QuestionKind {
+    /// Yes/No/I-don't-know.
+    TrueFalse,
+    /// Four options, one correct.
+    Mcq,
+}
+
+/// The answerable payload of a question.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuestionBody {
+    /// "Is `<child>` a type of `<candidate>`?"
+    TrueFalse {
+        /// The candidate parent presented to the model.
+        candidate: String,
+        /// Ground truth: is the candidate the true parent?
+        expected_yes: bool,
+        /// `None` for positives; the sampling regime for negatives.
+        negative: Option<NegativeKind>,
+    },
+    /// "What is the most appropriate supertype of `<child>`?" with four
+    /// options.
+    Mcq {
+        /// The four options in presentation order.
+        options: [String; 4],
+        /// Index (0–3) of the correct option.
+        correct: u8,
+    },
+}
+
+impl QuestionBody {
+    /// Which question family this body belongs to.
+    pub fn kind(&self) -> QuestionKind {
+        match self {
+            QuestionBody::TrueFalse { .. } => QuestionKind::TrueFalse,
+            QuestionBody::Mcq { .. } => QuestionKind::Mcq,
+        }
+    }
+}
+
+/// One benchmark question.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Question {
+    /// Unique id within its dataset (stable across runs for a fixed
+    /// seed).
+    pub id: u64,
+    /// The taxonomy the question probes.
+    pub taxonomy: TaxonomyKind,
+    /// Child entity name (or instance name for instance typing).
+    pub child: String,
+    /// Level of the child entity (for instance typing: the level of the
+    /// leaf concept the instance belongs to; instance itself is treated
+    /// as one deeper).
+    pub child_level: usize,
+    /// Level of the candidate parent(s)/ancestor.
+    pub parent_level: usize,
+    /// The ground-truth parent (TF) or correct option (MCQ) — also used
+    /// by simulated models for surface-similarity evidence, mirroring
+    /// how a real LLM sees the true relation in its training data.
+    pub true_parent: String,
+    /// Whether this is an instance-typing question (§4.5) rather than a
+    /// concept-level hierarchy question.
+    pub instance_typing: bool,
+    /// The payload.
+    pub body: QuestionBody,
+}
+
+impl Question {
+    /// Which question family this is.
+    pub fn kind(&self) -> QuestionKind {
+        self.body.kind()
+    }
+
+    /// For TF questions: the expected boolean; `None` for MCQ.
+    pub fn expected_yes(&self) -> Option<bool> {
+        match &self.body {
+            QuestionBody::TrueFalse { expected_yes, .. } => Some(*expected_yes),
+            QuestionBody::Mcq { .. } => None,
+        }
+    }
+
+    /// The candidate parent shown to the model (TF) or the correct
+    /// option (MCQ).
+    pub fn shown_candidate(&self) -> &str {
+        match &self.body {
+            QuestionBody::TrueFalse { candidate, .. } => candidate,
+            QuestionBody::Mcq { options, correct } => &options[*correct as usize],
+        }
+    }
+}
+
+/// The gold answer to a question, used for scoring and for rendering
+/// few-shot exemplars.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GoldAnswer {
+    /// TF positive.
+    Yes,
+    /// TF negative.
+    No,
+    /// MCQ: the correct option index.
+    Option(u8),
+}
+
+impl Question {
+    /// The gold answer.
+    pub fn gold(&self) -> GoldAnswer {
+        match &self.body {
+            QuestionBody::TrueFalse { expected_yes: true, .. } => GoldAnswer::Yes,
+            QuestionBody::TrueFalse { expected_yes: false, .. } => GoldAnswer::No,
+            QuestionBody::Mcq { correct, .. } => GoldAnswer::Option(*correct),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tf(expected: bool) -> Question {
+        Question {
+            id: 1,
+            taxonomy: TaxonomyKind::Ebay,
+            child: "Wireless Speakers".into(),
+            child_level: 2,
+            parent_level: 1,
+            true_parent: "Audio".into(),
+            instance_typing: false,
+            body: QuestionBody::TrueFalse {
+                candidate: if expected { "Audio".into() } else { "Garden Tools".into() },
+                expected_yes: expected,
+                negative: (!expected).then_some(NegativeKind::Easy),
+            },
+        }
+    }
+
+    #[test]
+    fn gold_answers() {
+        assert_eq!(tf(true).gold(), GoldAnswer::Yes);
+        assert_eq!(tf(false).gold(), GoldAnswer::No);
+        let mcq = Question {
+            body: QuestionBody::Mcq {
+                options: ["a".into(), "b".into(), "c".into(), "d".into()],
+                correct: 2,
+            },
+            ..tf(true)
+        };
+        assert_eq!(mcq.gold(), GoldAnswer::Option(2));
+        assert_eq!(mcq.shown_candidate(), "c");
+        assert_eq!(mcq.kind(), QuestionKind::Mcq);
+        assert_eq!(mcq.expected_yes(), None);
+    }
+
+    #[test]
+    fn shown_candidate_for_tf() {
+        assert_eq!(tf(true).shown_candidate(), "Audio");
+        assert_eq!(tf(false).shown_candidate(), "Garden Tools");
+        assert_eq!(tf(true).expected_yes(), Some(true));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let q = tf(false);
+        let json = serde_json::to_string(&q).unwrap();
+        let back: Question = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, q);
+    }
+}

@@ -1,0 +1,198 @@
+//! Run-artifact store: persist evaluation reports as JSON files and
+//! query them back — the small "results database" behind the experiment
+//! binaries, so expensive grids are computed once and analyzed many
+//! times.
+//!
+//! Layout: one file per report,
+//! `<dir>/<model>_<taxonomy>_<flavor>_<setting>.json`, overwritten on
+//! re-run (runs are deterministic, so overwriting is idempotent).
+
+use crate::dataset::QuestionDataset;
+use crate::domain::TaxonomyKind;
+use crate::eval::EvalReport;
+use crate::prompts::PromptSetting;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Errors from the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// A stored file was not a valid report.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// The JSON error encountered.
+        error: serde_json::Error,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Corrupt { path, error } => {
+                write!(f, "{} is not a valid report: {error}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A directory of persisted [`EvalReport`]s.
+#[derive(Debug, Clone)]
+pub struct RunStore {
+    dir: PathBuf,
+}
+
+impl RunStore {
+    /// Open (creating if needed) a store at `dir`.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        std::fs::create_dir_all(dir.as_ref())?;
+        Ok(RunStore { dir: dir.as_ref().to_owned() })
+    }
+
+    /// The store's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file_name(report: &EvalReport) -> String {
+        let sanitize = |s: &str| s.replace(['/', ' '], "-").to_ascii_lowercase();
+        format!(
+            "{}_{}_{}_{}.json",
+            sanitize(&report.model),
+            report.taxonomy.label(),
+            report.flavor,
+            sanitize(&report.setting.to_string()),
+        )
+    }
+
+    /// Persist one report (overwrites any previous run of the same
+    /// cell).
+    pub fn save(&self, report: &EvalReport) -> Result<PathBuf, StoreError> {
+        let path = self.dir.join(Self::file_name(report));
+        let json = serde_json::to_string_pretty(report).expect("reports serialize");
+        std::fs::write(&path, json)?;
+        Ok(path)
+    }
+
+    /// Load every report in the store.
+    pub fn load_all(&self) -> Result<Vec<EvalReport>, StoreError> {
+        let mut out = Vec::new();
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&self.dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "json"))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let data = std::fs::read_to_string(&path)?;
+            let report = serde_json::from_str(&data)
+                .map_err(|error| StoreError::Corrupt { path: path.clone(), error })?;
+            out.push(report);
+        }
+        Ok(out)
+    }
+
+    /// Load reports matching the given filters (`None` = any).
+    pub fn query(
+        &self,
+        model: Option<&str>,
+        taxonomy: Option<TaxonomyKind>,
+        flavor: Option<QuestionDataset>,
+        setting: Option<PromptSetting>,
+    ) -> Result<Vec<EvalReport>, StoreError> {
+        Ok(self
+            .load_all()?
+            .into_iter()
+            .filter(|r| model.is_none_or(|m| r.model.eq_ignore_ascii_case(m)))
+            .filter(|r| taxonomy.is_none_or(|t| r.taxonomy == t))
+            .filter(|r| flavor.is_none_or(|f| r.flavor == f))
+            .filter(|r| setting.is_none_or(|s| r.setting == s))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+    use crate::eval::Evaluator;
+    use crate::model::FixedAnswerModel;
+    use taxoglimpse_synth::{generate, GenOptions};
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("taxoglimpse-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_report(model_name: &str, flavor: QuestionDataset) -> EvalReport {
+        let t = generate(TaxonomyKind::Ebay, GenOptions { seed: 60, scale: 0.5 }).unwrap();
+        let d = DatasetBuilder::new(&t, TaxonomyKind::Ebay, 60)
+            .sample_cap(Some(10))
+            .build(flavor)
+            .unwrap();
+        Evaluator::default().run(&FixedAnswerModel::new(model_name, "Yes."), &d)
+    }
+
+    #[test]
+    fn save_and_load_round_trip() {
+        let dir = tempdir("roundtrip");
+        let store = RunStore::open(&dir).unwrap();
+        let report = sample_report("m1", QuestionDataset::Hard);
+        let path = store.save(&report).unwrap();
+        assert!(path.exists());
+        let loaded = store.load_all().unwrap();
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded[0].overall, report.overall);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn overwrite_is_idempotent() {
+        let dir = tempdir("overwrite");
+        let store = RunStore::open(&dir).unwrap();
+        let report = sample_report("m1", QuestionDataset::Hard);
+        store.save(&report).unwrap();
+        store.save(&report).unwrap();
+        assert_eq!(store.load_all().unwrap().len(), 1);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn query_filters() {
+        let dir = tempdir("query");
+        let store = RunStore::open(&dir).unwrap();
+        store.save(&sample_report("alpha", QuestionDataset::Hard)).unwrap();
+        store.save(&sample_report("alpha", QuestionDataset::Easy)).unwrap();
+        store.save(&sample_report("beta", QuestionDataset::Hard)).unwrap();
+        assert_eq!(store.load_all().unwrap().len(), 3);
+        assert_eq!(store.query(Some("alpha"), None, None, None).unwrap().len(), 2);
+        assert_eq!(store.query(None, None, Some(QuestionDataset::Hard), None).unwrap().len(), 2);
+        assert_eq!(
+            store.query(Some("ALPHA"), None, Some(QuestionDataset::Easy), None).unwrap().len(),
+            1,
+            "model match is case-insensitive"
+        );
+        assert_eq!(store.query(Some("gamma"), None, None, None).unwrap().len(), 0);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_files_are_reported() {
+        let dir = tempdir("corrupt");
+        let store = RunStore::open(&dir).unwrap();
+        std::fs::write(dir.join("junk.json"), "not json").unwrap();
+        assert!(matches!(store.load_all(), Err(StoreError::Corrupt { .. })));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,310 @@
+//! Question templates — the paper's Tables 2 (True/False) and 3 (MCQ),
+//! plus the paraphrase variants mentioned in §2.2 ("a kind of" / "a sort
+//! of" for TF; "suitable" / "proper" for MCQ).
+
+use crate::domain::{Domain, TaxonomyKind};
+use crate::question::{Question, QuestionBody};
+use serde::{Deserialize, Serialize};
+
+/// Template paraphrase variant (§2.2: results are stable under slight
+/// paraphrasing; the paper reports the canonical templates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum TemplateVariant {
+    /// "a type of" / "most appropriate".
+    #[default]
+    Canonical,
+    /// "a kind of" / "most suitable".
+    ParaphraseA,
+    /// "a sort of" / "most proper".
+    ParaphraseB,
+}
+
+impl TemplateVariant {
+    /// All three variants.
+    pub const ALL: [TemplateVariant; 3] =
+        [TemplateVariant::Canonical, TemplateVariant::ParaphraseA, TemplateVariant::ParaphraseB];
+
+    fn type_of(self) -> &'static str {
+        match self {
+            TemplateVariant::Canonical => "a type of",
+            TemplateVariant::ParaphraseA => "a kind of",
+            TemplateVariant::ParaphraseB => "a sort of",
+        }
+    }
+
+    fn appropriate(self) -> &'static str {
+        match self {
+            TemplateVariant::Canonical => "appropriate",
+            TemplateVariant::ParaphraseA => "suitable",
+            TemplateVariant::ParaphraseB => "proper",
+        }
+    }
+}
+
+/// The domain-specific noun phrase appended to entity names in the
+/// templates (Table 2/3), e.g. "products" for Shopping.
+fn tf_phrase(kind: TaxonomyKind, name: &str) -> String {
+    match kind.domain() {
+        Domain::Shopping => format!("{name} products"),
+        Domain::General => format!("{name} entity type"),
+        Domain::ComputerScience => format!("{name} computer science research concept"),
+        Domain::Geography => format!("{name} geographical concept"),
+        Domain::Language => format!("{name} language"),
+        Domain::Health | Domain::Biology => name.to_owned(),
+        Domain::Medical => format!("{name} Adverse Events concept"),
+    }
+}
+
+fn mcq_phrase(kind: TaxonomyKind, name: &str) -> String {
+    match kind.domain() {
+        Domain::Shopping => format!("{name} product"),
+        Domain::General => format!("{name} entity type"),
+        Domain::ComputerScience => format!("{name} research concept"),
+        Domain::Geography => format!("{name} geographical concept"),
+        Domain::Language => format!("{name} language"),
+        Domain::Health | Domain::Biology => name.to_owned(),
+        Domain::Medical => format!("{name} Adverse Events concept"),
+    }
+}
+
+/// Render the True/False question text for `(child, candidate)` in the
+/// domain phrasing of Table 2.
+pub fn render_tf(kind: TaxonomyKind, variant: TemplateVariant, child: &str, candidate: &str) -> String {
+    let rel = variant.type_of();
+    let child_p = tf_phrase(kind, child);
+    let cand_p = tf_phrase(kind, candidate);
+    let verb = if kind.domain() == Domain::Shopping { "Are" } else { "Is" };
+    format!("{verb} {child_p} {rel} {cand_p}? answer with (Yes/No/I don't know)")
+}
+
+/// Render the MCQ question text of Table 3.
+pub fn render_mcq(
+    kind: TaxonomyKind,
+    variant: TemplateVariant,
+    child: &str,
+    options: &[String; 4],
+) -> String {
+    let adj = variant.appropriate();
+    let child_p = mcq_phrase(kind, child);
+    format!(
+        "What is the most {adj} supertype of {child_p}? A) {} B) {} C) {} D) {}",
+        options[0], options[1], options[2], options[3]
+    )
+}
+
+/// Render any question in its domain template.
+pub fn render_question(q: &Question, variant: TemplateVariant) -> String {
+    match &q.body {
+        QuestionBody::TrueFalse { candidate, .. } => {
+            render_tf(q.taxonomy, variant, &q.child, candidate)
+        }
+        QuestionBody::Mcq { options, .. } => render_mcq(q.taxonomy, variant, &q.child, options),
+    }
+}
+
+/// A user-supplied template pair for custom domains.
+///
+/// Benchmark adopters probing their own taxonomies are not limited to
+/// the paper's eight domain phrasings: a `CustomTemplate` holds format
+/// strings with `{child}` / `{parent}` / `{options}` placeholders and
+/// renders any [`Question`] through them.
+///
+/// ```
+/// use taxoglimpse_core::templates::CustomTemplate;
+///
+/// let t = CustomTemplate::new(
+///     "Is the {child} department part of the {parent} division? answer with (Yes/No/I don't know)",
+///     "Which division does the {child} department belong to? {options}",
+/// ).unwrap();
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CustomTemplate {
+    tf: String,
+    mcq: String,
+}
+
+/// Errors from custom template construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplateError {
+    /// The TF template is missing `{child}` or `{parent}`.
+    TfMissingPlaceholder,
+    /// The MCQ template is missing `{child}` or `{options}`.
+    McqMissingPlaceholder,
+}
+
+impl std::fmt::Display for TemplateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TemplateError::TfMissingPlaceholder => {
+                write!(f, "TF template needs {{child}} and {{parent}}")
+            }
+            TemplateError::McqMissingPlaceholder => {
+                write!(f, "MCQ template needs {{child}} and {{options}}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TemplateError {}
+
+impl CustomTemplate {
+    /// Validate and build a template pair.
+    pub fn new(tf: impl Into<String>, mcq: impl Into<String>) -> Result<Self, TemplateError> {
+        let tf = tf.into();
+        let mcq = mcq.into();
+        if !tf.contains("{child}") || !tf.contains("{parent}") {
+            return Err(TemplateError::TfMissingPlaceholder);
+        }
+        if !mcq.contains("{child}") || !mcq.contains("{options}") {
+            return Err(TemplateError::McqMissingPlaceholder);
+        }
+        Ok(CustomTemplate { tf, mcq })
+    }
+
+    /// Render a question through the custom templates.
+    pub fn render(&self, q: &Question) -> String {
+        match &q.body {
+            QuestionBody::TrueFalse { candidate, .. } => self
+                .tf
+                .replace("{child}", &q.child)
+                .replace("{parent}", candidate),
+            QuestionBody::Mcq { options, .. } => {
+                let opts = format!(
+                    "A) {} B) {} C) {} D) {}",
+                    options[0], options[1], options[2], options[3]
+                );
+                self.mcq.replace("{child}", &q.child).replace("{options}", &opts)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shopping_tf_matches_table_2() {
+        let s = render_tf(TaxonomyKind::Ebay, TemplateVariant::Canonical, "Wireless Speakers", "Audio");
+        assert_eq!(
+            s,
+            "Are Wireless Speakers products a type of Audio products? answer with (Yes/No/I don't know)"
+        );
+    }
+
+    #[test]
+    fn health_tf_is_bare() {
+        let s = render_tf(TaxonomyKind::Icd10Cm, TemplateVariant::Canonical, "A15 Tuberculosis", "A15-A19 Mycobacterial diseases");
+        assert_eq!(
+            s,
+            "Is A15 Tuberculosis a type of A15-A19 Mycobacterial diseases? answer with (Yes/No/I don't know)"
+        );
+    }
+
+    #[test]
+    fn biology_tf_is_bare() {
+        let s = render_tf(TaxonomyKind::Ncbi, TemplateVariant::Canonical, "Verbascum chaixii", "Verbascum");
+        assert!(s.starts_with("Is Verbascum chaixii a type of Verbascum?"));
+    }
+
+    #[test]
+    fn language_tf_matches_example_1() {
+        // The paper's running example: "Is Sinitic language a type of
+        // Sino-Tibetan language?"
+        let s = render_tf(TaxonomyKind::Glottolog, TemplateVariant::Canonical, "Sinitic", "Sino-Tibetan");
+        assert_eq!(
+            s,
+            "Is Sinitic language a type of Sino-Tibetan language? answer with (Yes/No/I don't know)"
+        );
+    }
+
+    #[test]
+    fn medical_tf_mentions_adverse_events() {
+        let s = render_tf(TaxonomyKind::Oae, TemplateVariant::Canonical, "acute cardiac lesion AE", "cardiac lesion AE");
+        assert!(s.contains("Adverse Events concept"));
+    }
+
+    #[test]
+    fn paraphrases_change_only_the_relation() {
+        let a = render_tf(TaxonomyKind::Schema, TemplateVariant::Canonical, "Book", "CreativeWork");
+        let b = render_tf(TaxonomyKind::Schema, TemplateVariant::ParaphraseA, "Book", "CreativeWork");
+        let c = render_tf(TaxonomyKind::Schema, TemplateVariant::ParaphraseB, "Book", "CreativeWork");
+        assert!(a.contains("a type of"));
+        assert!(b.contains("a kind of"));
+        assert!(c.contains("a sort of"));
+        assert_eq!(a.replace("a type of", "X"), b.replace("a kind of", "X"));
+    }
+
+    #[test]
+    fn mcq_lists_four_options() {
+        let options = ["Audio".to_string(), "Video".into(), "Garden".into(), "Books".into()];
+        let s = render_mcq(TaxonomyKind::Google, TemplateVariant::Canonical, "Wireless Speakers", &options);
+        assert_eq!(
+            s,
+            "What is the most appropriate supertype of Wireless Speakers product? A) Audio B) Video C) Garden D) Books"
+        );
+        let p = render_mcq(TaxonomyKind::Google, TemplateVariant::ParaphraseA, "Wireless Speakers", &options);
+        assert!(p.contains("most suitable"));
+    }
+
+    #[test]
+    fn custom_templates_render_and_validate() {
+        use crate::question::{NegativeKind, Question, QuestionBody};
+        let t = CustomTemplate::new(
+            "Does {child} report into {parent}? answer with (Yes/No/I don't know)",
+            "Who does {child} report into? {options}",
+        )
+        .unwrap();
+        let q = Question {
+            id: 0,
+            taxonomy: TaxonomyKind::Schema,
+            child: "Payments".into(),
+            child_level: 2,
+            parent_level: 1,
+            true_parent: "Finance".into(),
+            instance_typing: false,
+            body: QuestionBody::TrueFalse {
+                candidate: "Marketing".into(),
+                expected_yes: false,
+                negative: Some(NegativeKind::Easy),
+            },
+        };
+        assert_eq!(
+            t.render(&q),
+            "Does Payments report into Marketing? answer with (Yes/No/I don't know)"
+        );
+        let mcq = Question {
+            body: QuestionBody::Mcq {
+                options: ["Finance".into(), "Marketing".into(), "Legal".into(), "Ops".into()],
+                correct: 0,
+            },
+            ..q
+        };
+        assert_eq!(
+            t.render(&mcq),
+            "Who does Payments report into? A) Finance B) Marketing C) Legal D) Ops"
+        );
+        // Validation failures.
+        assert_eq!(
+            CustomTemplate::new("no placeholders", "Who? {options} {child}").unwrap_err(),
+            TemplateError::TfMissingPlaceholder
+        );
+        assert_eq!(
+            CustomTemplate::new("{child} {parent}", "no placeholders").unwrap_err(),
+            TemplateError::McqMissingPlaceholder
+        );
+    }
+
+    #[test]
+    fn geography_and_cs_phrases() {
+        let g = render_tf(TaxonomyKind::GeoNames, TemplateVariant::Canonical, "fjord", "H — stream, lake");
+        assert!(g.contains("geographical concept"));
+        let c = render_mcq(
+            TaxonomyKind::AcmCcs,
+            TemplateVariant::Canonical,
+            "Distributed databases",
+            &["a".into(), "b".into(), "c".into(), "d".into()],
+        );
+        assert!(c.contains("research concept"));
+    }
+}

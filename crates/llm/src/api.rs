@@ -1,0 +1,282 @@
+//! Simulated API serving layer: latency, retries and dollar-cost
+//! accounting.
+//!
+//! The paper accessed GPTs "through Azure OpenAI API and the OpenAI
+//! official API" and deployed open models on 8×RTX-3090 + 4×A100. This
+//! module wraps any [`LanguageModel`] in an [`ApiClient`] that models
+//! that serving reality deterministically:
+//!
+//! * **latency** — per-request seconds from the scalability model
+//!   (open-weight) or a flat API round-trip (closed), accumulated on a
+//!   simulated clock;
+//! * **transient failures** — a configurable failure rate with
+//!   exponential-backoff retries, injected deterministically per
+//!   request;
+//! * **cost** — token-metered pricing for API models, so the question
+//!   "what would running all of TaxoGlimpse on GPT-4 cost?" has a
+//!   number.
+
+use crate::profile::ModelId;
+use crate::scalability;
+use crate::simulate::SimulatedLlm;
+use crate::tokenizer::Tokenizer;
+use parking_lot::Mutex;
+use taxoglimpse_core::model::{LanguageModel, Query};
+use taxoglimpse_synth::rng::{hash_str, mix64};
+
+/// Pricing per million tokens (input, output) in USD. Closed-model
+/// prices reflect the era of the paper's experiments (2024); open
+/// models are priced at 0 (self-hosted — the cost shows up as GPU time
+/// instead).
+pub fn price_per_mtok(model: ModelId) -> (f64, f64) {
+    match model {
+        ModelId::Gpt4 => (30.0, 60.0),
+        ModelId::Gpt35 => (0.5, 1.5),
+        ModelId::Claude3 => (15.0, 75.0),
+        _ => (0.0, 0.0),
+    }
+}
+
+/// Serving statistics accumulated by an [`ApiClient`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ServingStats {
+    /// Requests issued by callers.
+    pub requests: u64,
+    /// Attempts including retries.
+    pub attempts: u64,
+    /// Transient failures encountered (each retried).
+    pub transient_failures: u64,
+    /// Requests that exhausted their retries.
+    pub exhausted: u64,
+    /// Prompt tokens billed.
+    pub prompt_tokens: u64,
+    /// Completion tokens billed.
+    pub completion_tokens: u64,
+    /// Simulated wall-clock seconds spent (latency + backoff).
+    pub simulated_seconds: f64,
+    /// Dollars spent (API-priced models only).
+    pub cost_usd: f64,
+}
+
+/// Retry/latency configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ApiConfig {
+    /// Probability a single attempt fails transiently.
+    pub failure_rate: f64,
+    /// Maximum attempts per request (1 = no retries).
+    pub max_attempts: u32,
+    /// Base backoff in seconds; attempt `k` waits `base * 2^(k-1)`.
+    pub backoff_base_s: f64,
+    /// Flat round-trip latency for API-only (closed) models, seconds.
+    pub api_round_trip_s: f64,
+}
+
+impl Default for ApiConfig {
+    fn default() -> Self {
+        ApiConfig { failure_rate: 0.02, max_attempts: 4, backoff_base_s: 0.5, api_round_trip_s: 0.8 }
+    }
+}
+
+/// A [`LanguageModel`] wrapped in the serving simulation.
+pub struct ApiClient {
+    inner: SimulatedLlm,
+    config: ApiConfig,
+    tokenizer: Tokenizer,
+    stats: Mutex<ServingStats>,
+    seed: u64,
+}
+
+impl ApiClient {
+    /// Wrap `model` with the default serving configuration.
+    pub fn new(model: SimulatedLlm) -> Self {
+        Self::with_config(model, ApiConfig::default())
+    }
+
+    /// Wrap with an explicit configuration.
+    pub fn with_config(model: SimulatedLlm, config: ApiConfig) -> Self {
+        let seed = mix64(0x0AB1_C0DE ^ model.id().row() as u64);
+        ApiClient { inner: model, config, tokenizer: Tokenizer::default(), stats: Mutex::new(ServingStats::default()), seed }
+    }
+
+    /// Which model is being served.
+    pub fn model(&self) -> ModelId {
+        self.inner.id()
+    }
+
+    /// Serving statistics so far.
+    pub fn stats(&self) -> ServingStats {
+        *self.stats.lock()
+    }
+
+    /// Seconds one successful attempt takes for this model.
+    fn attempt_latency(&self) -> f64 {
+        match scalability::footprint(self.inner.id()) {
+            Some(f) => f.seconds_per_question,
+            None => self.config.api_round_trip_s,
+        }
+    }
+
+    fn attempt_fails(&self, prompt: &str, attempt: u32) -> bool {
+        let h = mix64(hash_str(self.seed ^ u64::from(attempt), prompt));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+        u < self.config.failure_rate
+    }
+
+    /// Estimated dollars to answer `n` questions of `avg_prompt_tokens`
+    /// prompt / `avg_completion_tokens` completion each.
+    pub fn estimate_cost(&self, n: u64, avg_prompt_tokens: f64, avg_completion_tokens: f64) -> f64 {
+        let (pin, pout) = price_per_mtok(self.inner.id());
+        (n as f64) * (avg_prompt_tokens * pin + avg_completion_tokens * pout) / 1e6
+    }
+}
+
+impl LanguageModel for ApiClient {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn answer(&self, query: &Query<'_>) -> String {
+        let mut stats = self.stats.lock();
+        stats.requests += 1;
+        let mut answered = None;
+        for attempt in 1..=self.config.max_attempts {
+            stats.attempts += 1;
+            stats.simulated_seconds += self.attempt_latency();
+            if self.attempt_fails(&query.prompt, attempt) {
+                stats.transient_failures += 1;
+                stats.simulated_seconds +=
+                    self.config.backoff_base_s * f64::from(1u32 << (attempt - 1).min(8));
+                continue;
+            }
+            answered = Some(self.inner.answer(query));
+            break;
+        }
+        let response = match answered {
+            Some(r) => r,
+            None => {
+                stats.exhausted += 1;
+                // The harness treats unparseable output as a wrong
+                // answer, which is the honest accounting for an outage.
+                String::from("[request failed after retries]")
+            }
+        };
+        let prompt_tokens = self.tokenizer.count(&query.prompt) as u64;
+        let completion_tokens = self.tokenizer.count(&response) as u64;
+        stats.prompt_tokens += prompt_tokens;
+        stats.completion_tokens += completion_tokens;
+        let (pin, pout) = price_per_mtok(self.inner.id());
+        stats.cost_usd += (prompt_tokens as f64 * pin + completion_tokens as f64 * pout) / 1e6;
+        response
+    }
+
+    fn reset(&self) {
+        self.inner.reset();
+        *self.stats.lock() = ServingStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxoglimpse_core::dataset::{DatasetBuilder, QuestionDataset};
+    use taxoglimpse_core::domain::TaxonomyKind;
+    use taxoglimpse_core::eval::Evaluator;
+    use taxoglimpse_synth::{generate, GenOptions};
+
+    fn dataset() -> taxoglimpse_core::dataset::Dataset {
+        let t = generate(TaxonomyKind::Ebay, GenOptions { seed: 40, scale: 1.0 }).unwrap();
+        DatasetBuilder::new(&t, TaxonomyKind::Ebay, 40)
+            .sample_cap(Some(50))
+            .build(QuestionDataset::Hard)
+            .unwrap()
+    }
+
+    #[test]
+    fn accounting_adds_up() {
+        let d = dataset();
+        let client = ApiClient::new(SimulatedLlm::new(ModelId::Gpt4));
+        let report = Evaluator::default().run(&client, &d);
+        let stats = client.stats();
+        assert_eq!(stats.requests as usize, d.len());
+        assert!(stats.attempts >= stats.requests);
+        assert!(stats.prompt_tokens > 0);
+        assert!(stats.cost_usd > 0.0, "GPT-4 is not free");
+        assert!(stats.simulated_seconds > 0.0);
+        assert_eq!(report.overall.total(), d.len());
+    }
+
+    #[test]
+    fn open_models_cost_nothing_but_take_gpu_time() {
+        let d = dataset();
+        let client = ApiClient::new(SimulatedLlm::new(ModelId::Llama2_70b));
+        Evaluator::default().run(&client, &d);
+        let stats = client.stats();
+        assert_eq!(stats.cost_usd, 0.0);
+        // 70B at ~0.8 s/question over 100 questions.
+        assert!(stats.simulated_seconds > 50.0);
+    }
+
+    #[test]
+    fn retries_recover_transient_failures() {
+        let d = dataset();
+        let flaky = ApiClient::with_config(
+            SimulatedLlm::new(ModelId::Gpt35),
+            ApiConfig { failure_rate: 0.3, max_attempts: 6, ..Default::default() },
+        );
+        let report = Evaluator::default().run(&flaky, &d);
+        let stats = flaky.stats();
+        assert!(stats.transient_failures > 0, "30% failure rate must fire");
+        assert_eq!(stats.exhausted, 0, "6 attempts at 30% practically never exhaust");
+        // Quality is unaffected by retried failures.
+        assert!(report.overall.accuracy() > 0.7);
+    }
+
+    #[test]
+    fn zero_retries_lose_requests() {
+        let d = dataset();
+        let fragile = ApiClient::with_config(
+            SimulatedLlm::new(ModelId::Gpt4),
+            ApiConfig { failure_rate: 0.5, max_attempts: 1, ..Default::default() },
+        );
+        let with_failures = Evaluator::default().run(&fragile, &d);
+        assert!(fragile.stats().exhausted > 0);
+        let reliable = Evaluator::default().run(&SimulatedLlm::new(ModelId::Gpt4), &d);
+        assert!(with_failures.overall.accuracy() < reliable.overall.accuracy());
+    }
+
+    #[test]
+    fn reset_clears_stats() {
+        let d = dataset();
+        let client = ApiClient::new(SimulatedLlm::new(ModelId::Gpt35));
+        Evaluator::default().run(&client, &d);
+        assert!(client.stats().requests > 0);
+        client.reset();
+        assert_eq!(client.stats(), ServingStats::default());
+    }
+
+    #[test]
+    fn cost_estimation_matches_prices() {
+        let client = ApiClient::new(SimulatedLlm::new(ModelId::Gpt4));
+        // 1000 questions × (30 in + 5 out) tokens at $30/$60 per Mtok.
+        let est = client.estimate_cost(1000, 30.0, 5.0);
+        let expected = 1000.0 * (30.0 * 30.0 + 5.0 * 60.0) / 1e6;
+        assert!((est - expected).abs() < 1e-9);
+        // Free for self-hosted.
+        let open = ApiClient::new(SimulatedLlm::new(ModelId::FlanT5_3b));
+        assert_eq!(open.estimate_cost(1000, 30.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn deterministic_failure_injection() {
+        let d = dataset();
+        let mk = || {
+            let c = ApiClient::with_config(
+                SimulatedLlm::new(ModelId::Gpt35),
+                ApiConfig { failure_rate: 0.2, ..Default::default() },
+            );
+            Evaluator::default().run(&c, &d);
+            c.stats().transient_failures
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -1,0 +1,459 @@
+//! The knowledge model: converts calibration anchors plus per-question
+//! evidence into (miss probability, conditional correctness).
+//!
+//! ## Anchor disaggregation
+//!
+//! The paper reports dataset-level aggregates: `A_easy`/`M_easy` over
+//! {positives + easy negatives} and `A_hard`/`M_hard` over {positives +
+//! hard negatives}. We disaggregate with the identification choice that
+//! positives (and easy negatives) behave like the easy aggregate; the
+//! hard-negative anchor is then pinned by `A_nh = 2·A_hard − A_easy` so
+//! that **both** dataset aggregates are reproduced in expectation.
+//!
+//! ## Per-question modulation (in logit space)
+//!
+//! * **depth** — conditional correctness declines linearly in the child
+//!   level, centered mid-taxonomy so the taxonomy-wide mean stays at the
+//!   anchor (Finding 2's root-to-leaf decline);
+//! * **surface evidence** — character-trigram overlap between names. For
+//!   a positive, high child↔candidate similarity helps; for a negative,
+//!   what helps is the *contrast* between the child's similarity to its
+//!   true parent and to the candidate. This single mechanism produces
+//!   the paper's NCBI species→genus uplift (species names embed the
+//!   genus) and keeps OAE hard negatives hard (uncles share the parent's
+//!   phrase). Evidence is centered per name regime so aggregates stay
+//!   anchored.
+
+use crate::calib;
+use crate::profile::{ModelId, ModelProfile};
+use taxoglimpse_core::dataset::QuestionDataset;
+use taxoglimpse_core::prompts::PromptSetting;
+use taxoglimpse_core::question::{NegativeKind, Question, QuestionBody};
+use taxoglimpse_synth::profiles::{NameRegime, TaxonomyProfile};
+
+/// Character-trigram Jaccard similarity, case-insensitive.
+///
+/// Strings shorter than three characters fall back to exact-match 1/0.
+pub fn trigram_similarity(a: &str, b: &str) -> f64 {
+    let ta = trigrams(a);
+    let tb = trigrams(b);
+    if ta.is_empty() || tb.is_empty() {
+        return if a.eq_ignore_ascii_case(b) { 1.0 } else { 0.0 };
+    }
+    let mut intersection = 0usize;
+    let mut i = 0;
+    let mut j = 0;
+    while i < ta.len() && j < tb.len() {
+        match ta[i].cmp(&tb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                intersection += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    let union = ta.len() + tb.len() - intersection;
+    intersection as f64 / union as f64
+}
+
+fn trigrams(s: &str) -> Vec<[u8; 3]> {
+    let lower: Vec<u8> = s.bytes().map(|b| b.to_ascii_lowercase()).collect();
+    if lower.len() < 3 {
+        return Vec::new();
+    }
+    let mut grams: Vec<[u8; 3]> = lower.windows(3).map(|w| [w[0], w[1], w[2]]).collect();
+    grams.sort_unstable();
+    grams.dedup();
+    grams
+}
+
+/// The decision probabilities for one question.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Probability of answering "I don't know".
+    pub miss_prob: f64,
+    /// Probability of a correct answer, conditional on answering.
+    pub correct_prob: f64,
+}
+
+/// Per-model knowledge engine.
+#[derive(Debug, Clone, Copy)]
+pub struct KnowledgeModel {
+    profile: ModelProfile,
+    /// Whether surface-form (trigram + containment) evidence is applied.
+    /// Disabling it is the ablation that removes the NCBI/OAE leaf-level
+    /// uplifts (DESIGN.md §4).
+    use_surface_evidence: bool,
+}
+
+impl KnowledgeModel {
+    /// Build the engine for one model.
+    pub fn new(id: ModelId) -> Self {
+        KnowledgeModel { profile: ModelProfile::of(id), use_surface_evidence: true }
+    }
+
+    /// Ablation: drop all surface-form evidence (names become opaque
+    /// tokens to the model).
+    pub fn without_surface_evidence(mut self) -> Self {
+        self.use_surface_evidence = false;
+        self
+    }
+
+    /// The underlying behavioural profile.
+    pub fn profile(&self) -> &ModelProfile {
+        &self.profile
+    }
+
+    /// Effective `(A, M)` anchor for a question, after the
+    /// disaggregation described in the module docs.
+    pub fn effective_anchor(&self, question: &Question) -> (f64, f64) {
+        let id = self.profile.id;
+        let kind = question.taxonomy;
+        match &question.body {
+            QuestionBody::Mcq { .. } => calib::anchor(id, kind, QuestionDataset::Mcq),
+            QuestionBody::TrueFalse { negative, .. } => {
+                let (a_easy, m_easy) = calib::anchor(id, kind, QuestionDataset::Easy);
+                match negative {
+                    None | Some(NegativeKind::Easy) => (a_easy, m_easy),
+                    Some(NegativeKind::Hard) => {
+                        let (a_hard, m_hard) = calib::anchor(id, kind, QuestionDataset::Hard);
+                        (
+                            (2.0 * a_hard - a_easy).clamp(0.0, 1.0),
+                            (2.0 * m_hard - m_easy).clamp(0.0, 1.0),
+                        )
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decide the probabilities for one question under a prompt setting
+    /// (assuming the full five-shot exemplar block for few-shot).
+    pub fn decide(&self, question: &Question, setting: PromptSetting) -> Decision {
+        self.decide_with_shots(question, setting, PromptSetting::SHOTS)
+    }
+
+    /// Like [`KnowledgeModel::decide`] with an explicit exemplar count:
+    /// the abstention-suppressing effect of few-shot prompting saturates
+    /// exponentially in the number of exemplars actually shown (most of
+    /// the benefit arrives with the first one or two).
+    pub fn decide_with_shots(
+        &self,
+        question: &Question,
+        setting: PromptSetting,
+        shots: usize,
+    ) -> Decision {
+        let (a, m) = self.effective_anchor(question);
+
+        // Prompt-setting effect on abstention (Finding 4).
+        let miss_factor = match setting {
+            PromptSetting::ZeroShot => 1.0,
+            PromptSetting::FewShot => {
+                let f = self.profile.fewshot_miss_factor;
+                // Saturating interpolation: shots = 0 behaves like
+                // zero-shot, the plateau value is the profile's factor.
+                f + (1.0 - f) * (-(shots as f64) * 1.2).exp()
+            }
+            PromptSetting::ChainOfThought => self.profile.cot_miss_factor,
+        };
+        let miss_prob = (m * miss_factor).clamp(0.0, 0.995);
+
+        // Conditional correctness at the anchor.
+        let base_conditional = if m >= 1.0 - 1e-9 { 0.5 } else { (a / (1.0 - m)).clamp(0.01, 0.995) };
+        let mut logit = logit(base_conditional);
+
+        // Depth decline, centered mid-taxonomy.
+        logit += self.depth_term(question);
+
+        // Surface-form evidence, centered per regime.
+        if self.use_surface_evidence {
+            logit += self.profile.similarity_weight * self.evidence(question);
+        }
+
+        // Prompt-setting accuracy shift.
+        let acc_shift = match setting {
+            PromptSetting::ZeroShot => 0.0,
+            PromptSetting::FewShot => self.profile.fewshot_acc_shift,
+            PromptSetting::ChainOfThought => self.profile.cot_acc_shift,
+        };
+
+        let correct_prob = (sigmoid(logit) + acc_shift).clamp(0.02, 0.99);
+        Decision { miss_prob, correct_prob }
+    }
+
+    /// Depth term: negative for deeper-than-mid questions, positive
+    /// above. Depth is measured at the *target* relation — for concept
+    /// questions that equals the child's level; for instance typing it
+    /// is the probed ancestor's level + 1, which is what Figure 6 plots.
+    fn depth_term(&self, question: &Question) -> f64 {
+        let levels = TaxonomyProfile::of(question.taxonomy).num_levels();
+        if levels < 3 {
+            return 0.0; // GeoNames: a single child level, nothing to tilt.
+        }
+        let max_child = (levels - 1) as f64;
+        let effective = ((question.parent_level + 1) as f64).min(max_child);
+        let mid = (1.0 + max_child) / 2.0;
+        let centered = (effective - mid) / max_child;
+        -self.profile.depth_slope * 2.0 * centered
+    }
+
+    /// Signed surface evidence in roughly [-1, 1], centered per regime.
+    fn evidence(&self, question: &Question) -> f64 {
+        let center = regime_center(question.taxonomy);
+        // Instance typing gets an extra lexical term: a product named
+        // "… Compact Pencil X137" trivially string-matches a "Pencils"
+        // category for a real LLM, so head-noun containment is strong
+        // evidence either way.
+        // Rejection is lexically easier than confirmation: a mismatched
+        // head word is glaring, while a matching one still leaves doubt
+        // about the exact category.
+        const LEX_CONFIRM: f64 = 0.40;
+        const LEX_REJECT: f64 = 0.80;
+        let lexical = |supports: &str, against: Option<&str>, weight: f64| -> f64 {
+            if !question.instance_typing {
+                return 0.0;
+            }
+            let hit = |concept: &str| head_matches(&question.child, concept);
+            let mut e = 0.0;
+            if hit(supports) {
+                e += weight;
+            }
+            if let Some(against) = against {
+                if hit(against) {
+                    e -= weight;
+                }
+            }
+            e
+        };
+        // Whole-name containment: when a child's name literally embeds
+        // its parent's ("Verbascum chaixii" ⊃ "Verbascum"), a real LLM
+        // string-matches its way to the answer — the paper's explanation
+        // for the NCBI species→genus uplift. Centered per regime (OAE
+        // children *always* embed the parent, so there the term is
+        // neutral; for NCBI only the species level fires).
+        const CONTAINMENT: f64 = 0.6;
+        let contains = |name: &str, concept: &str| -> bool {
+            concept.len() >= 4 && name.to_ascii_lowercase().contains(&concept.to_ascii_lowercase())
+        };
+        let lex_center = containment_center(question.taxonomy);
+        match &question.body {
+            QuestionBody::TrueFalse { candidate, expected_yes, .. } => {
+                if *expected_yes {
+                    let fires = contains(&question.child, candidate);
+                    trigram_similarity(&question.child, candidate) - center
+                        + CONTAINMENT * (f64::from(fires) - lex_center)
+                        + lexical(candidate, None, LEX_CONFIRM)
+                } else {
+                    // Correctly rejecting is easier when the child clearly
+                    // belongs elsewhere (high similarity to the true
+                    // parent, low to the candidate).
+                    let to_true = trigram_similarity(&question.child, &question.true_parent);
+                    let to_cand = trigram_similarity(&question.child, candidate);
+                    let fires = contains(&question.child, &question.true_parent)
+                        && !contains(&question.child, candidate);
+                    to_true - to_cand
+                        + CONTAINMENT * (f64::from(fires) - lex_center)
+                        + lexical(&question.true_parent, Some(candidate), LEX_REJECT)
+                }
+            }
+            QuestionBody::Mcq { options, correct } => {
+                let to_correct = trigram_similarity(&question.child, &options[*correct as usize]);
+                let best_distractor = options
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != *correct as usize)
+                    .map(|(_, o)| trigram_similarity(&question.child, o))
+                    .fold(0.0f64, f64::max);
+                to_correct - best_distractor
+            }
+        }
+    }
+}
+
+/// Typical child↔parent trigram similarity per name regime; evidence is
+/// centered here so taxonomy-wide aggregates stay at the anchor.
+fn regime_center(kind: taxoglimpse_core::domain::TaxonomyKind) -> f64 {
+    match TaxonomyProfile::of(kind).regime {
+        NameRegime::Oae => 0.45,
+        NameRegime::Icd => 0.20,
+        NameRegime::Ncbi => 0.12,
+        NameRegime::SchemaOrg => 0.12,
+        NameRegime::Shopping => 0.10,
+        NameRegime::AcmCcs => 0.08,
+        NameRegime::GeoNames | NameRegime::Glottolog => 0.04,
+    }
+}
+
+/// Expected frequency of the whole-name-containment signal per regime,
+/// used to center the containment term: OAE children virtually always
+/// embed the parent phrase; Schema children extend the parent stem about
+/// half the time; for NCBI only the species level (one of six) fires.
+fn containment_center(kind: taxoglimpse_core::domain::TaxonomyKind) -> f64 {
+    match TaxonomyProfile::of(kind).regime {
+        NameRegime::Oae => 0.90,
+        NameRegime::SchemaOrg => 0.45,
+        NameRegime::Ncbi => 0.17,
+        NameRegime::Icd => 0.05,
+        NameRegime::Shopping
+        | NameRegime::AcmCcs
+        | NameRegime::GeoNames
+        | NameRegime::Glottolog => 0.0,
+    }
+}
+
+/// Whether the head noun of `concept` (its last word, singular-ized)
+/// appears in `name`, case-insensitively.
+fn head_matches(name: &str, concept: &str) -> bool {
+    let head = concept.split(' ').next_back().unwrap_or(concept);
+    let head = head.strip_suffix('s').unwrap_or(head);
+    if head.len() < 3 {
+        return false;
+    }
+    let name_lower = name.to_ascii_lowercase();
+    name_lower.contains(&head.to_ascii_lowercase())
+}
+
+fn logit(p: f64) -> f64 {
+    let p = p.clamp(1e-6, 1.0 - 1e-6);
+    (p / (1.0 - p)).ln()
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxoglimpse_core::domain::TaxonomyKind;
+
+    fn tf(kind: TaxonomyKind, child: &str, candidate: &str, parent: &str, level: usize, neg: Option<NegativeKind>) -> Question {
+        Question {
+            id: 0,
+            taxonomy: kind,
+            child: child.into(),
+            child_level: level,
+            parent_level: level - 1,
+            true_parent: parent.into(),
+            instance_typing: false,
+            body: QuestionBody::TrueFalse {
+                candidate: candidate.into(),
+                expected_yes: neg.is_none(),
+                negative: neg,
+            },
+        }
+    }
+
+    #[test]
+    fn trigram_similarity_basics() {
+        assert_eq!(trigram_similarity("abc", "abc"), 1.0);
+        assert_eq!(trigram_similarity("abc", "xyz"), 0.0);
+        assert!(trigram_similarity("Verbascum chaixii", "Verbascum") > 0.4);
+        assert!(trigram_similarity("Verbascum chaixii", "Silene") < 0.1);
+        // Case-insensitive.
+        assert_eq!(trigram_similarity("ABC", "abc"), 1.0);
+        // Short strings: exact match only.
+        assert_eq!(trigram_similarity("ab", "ab"), 1.0);
+        assert_eq!(trigram_similarity("ab", "cd"), 0.0);
+        assert_eq!(trigram_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn trigram_similarity_is_symmetric() {
+        let pairs = [("cardiac lesion AE", "acute cardiac lesion AE"), ("a b c", "c b a")];
+        for (a, b) in pairs {
+            assert!((trigram_similarity(a, b) - trigram_similarity(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deeper_questions_are_harder() {
+        let k = KnowledgeModel::new(ModelId::Gpt4);
+        let shallow = tf(TaxonomyKind::Glottolog, "Sinitic", "Sino-Tibetan", "Sino-Tibetan", 1, None);
+        let deep = tf(TaxonomyKind::Glottolog, "Hailu", "Hakka-Chinese", "Hakka-Chinese", 5, None);
+        let d_shallow = k.decide(&shallow, PromptSetting::ZeroShot);
+        let d_deep = k.decide(&deep, PromptSetting::ZeroShot);
+        assert!(
+            d_shallow.correct_prob > d_deep.correct_prob,
+            "shallow {} vs deep {}",
+            d_shallow.correct_prob,
+            d_deep.correct_prob
+        );
+    }
+
+    #[test]
+    fn species_genus_similarity_uplift() {
+        // NCBI species embed the genus name: a species-level positive
+        // should be easier than an equally deep question with unrelated
+        // names.
+        let k = KnowledgeModel::new(ModelId::Gpt4);
+        let similar = tf(TaxonomyKind::Ncbi, "Verbascum chaixii", "Verbascum", "Verbascum", 6, None);
+        let dissimilar = tf(TaxonomyKind::Ncbi, "Panthera leo", "Verbascum", "Verbascum", 6, None);
+        let a = k.decide(&similar, PromptSetting::ZeroShot);
+        let b = k.decide(&dissimilar, PromptSetting::ZeroShot);
+        assert!(a.correct_prob > b.correct_prob + 0.05);
+    }
+
+    #[test]
+    fn hard_negative_anchor_is_below_easy() {
+        let k = KnowledgeModel::new(ModelId::Gpt35);
+        let easy = tf(TaxonomyKind::Ncbi, "x", "y", "p", 3, Some(NegativeKind::Easy));
+        let hard = tf(TaxonomyKind::Ncbi, "x", "y", "p", 3, Some(NegativeKind::Hard));
+        let (ae, _) = k.effective_anchor(&easy);
+        let (ah, _) = k.effective_anchor(&hard);
+        assert!(ah < ae, "hard {ah} vs easy {ae}");
+        // And the disaggregation identity: (A_easy + A_nh)/2 = A_hard.
+        let (paper_hard, _) = calib::anchor(ModelId::Gpt35, TaxonomyKind::Ncbi, QuestionDataset::Hard);
+        assert!(((ae + ah) / 2.0 - paper_hard).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewshot_suppresses_misses_cot_inflates_them() {
+        let k = KnowledgeModel::new(ModelId::Llama2_7b);
+        let q = tf(TaxonomyKind::Amazon, "a", "b", "b", 2, None);
+        let zero = k.decide(&q, PromptSetting::ZeroShot);
+        let few = k.decide(&q, PromptSetting::FewShot);
+        let cot = k.decide(&q, PromptSetting::ChainOfThought);
+        assert!(few.miss_prob < zero.miss_prob * 0.2);
+        assert!(cot.miss_prob >= zero.miss_prob);
+    }
+
+    #[test]
+    fn probabilities_stay_in_range() {
+        for id in ModelId::ALL {
+            let k = KnowledgeModel::new(id);
+            for kind in TaxonomyKind::ALL {
+                for level in 1..TaxonomyProfile::of(kind).num_levels() {
+                    for neg in [None, Some(NegativeKind::Easy), Some(NegativeKind::Hard)] {
+                        let q = tf(kind, "child name", "candidate name", "parent name", level, neg);
+                        let d = k.decide(&q, PromptSetting::ZeroShot);
+                        assert!((0.0..=1.0).contains(&d.miss_prob), "{id} {kind} miss {}", d.miss_prob);
+                        assert!((0.0..=1.0).contains(&d.correct_prob), "{id} {kind} c {}", d.correct_prob);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mcq_anchor_is_used_for_mcq() {
+        let k = KnowledgeModel::new(ModelId::Falcon7b);
+        let q = Question {
+            id: 0,
+            taxonomy: TaxonomyKind::Ebay,
+            child: "c".into(),
+            child_level: 1,
+            parent_level: 0,
+            true_parent: "p".into(),
+            instance_typing: false,
+            body: QuestionBody::Mcq {
+                options: ["p".into(), "q".into(), "r".into(), "s".into()],
+                correct: 0,
+            },
+        };
+        let (a, m) = k.effective_anchor(&q);
+        assert_eq!((a, m), calib::anchor(ModelId::Falcon7b, TaxonomyKind::Ebay, QuestionDataset::Mcq));
+    }
+}

@@ -1,0 +1,232 @@
+//! The simulated LLM: a [`LanguageModel`] whose answers follow the
+//! knowledge model's probabilities, deterministically per question.
+
+use crate::knowledge::{trigram_similarity, Decision, KnowledgeModel};
+use crate::profile::ModelId;
+use crate::respond::{render, Verdict};
+use crate::tokenizer::Tokenizer;
+use parking_lot::Mutex;
+use taxoglimpse_core::model::{LanguageModel, Query};
+use taxoglimpse_core::question::{Question, QuestionBody};
+use taxoglimpse_synth::rng::{hash_str, mix64};
+
+/// Cumulative usage counters for one simulated model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UsageStats {
+    /// Queries answered since the last reset.
+    pub queries: u64,
+    /// Prompt tokens consumed.
+    pub prompt_tokens: u64,
+    /// Completion tokens produced.
+    pub completion_tokens: u64,
+}
+
+/// A simulated model from the eighteen-model zoo.
+#[derive(Debug)]
+pub struct SimulatedLlm {
+    id: ModelId,
+    knowledge: KnowledgeModel,
+    seed: u64,
+    tokenizer: Tokenizer,
+    usage: Mutex<UsageStats>,
+}
+
+impl SimulatedLlm {
+    /// Create the simulated model with the default seed.
+    pub fn new(id: ModelId) -> Self {
+        Self::with_seed(id, 0x11AA)
+    }
+
+    /// Create with an explicit decision seed (varying the seed varies the
+    /// per-question draws while keeping the calibrated aggregates).
+    pub fn with_seed(id: ModelId, seed: u64) -> Self {
+        SimulatedLlm {
+            id,
+            knowledge: KnowledgeModel::new(id),
+            seed: mix64(seed ^ (id.row() as u64) << 40),
+            tokenizer: Tokenizer::default(),
+            usage: Mutex::new(UsageStats::default()),
+        }
+    }
+
+    /// Which model this simulates.
+    pub fn id(&self) -> ModelId {
+        self.id
+    }
+
+    /// Ablated variant that ignores all surface-form (name) evidence —
+    /// used by the `ablation` experiment to show the NCBI species→genus
+    /// uplift disappears without it.
+    pub fn without_surface_evidence(mut self) -> Self {
+        self.knowledge = self.knowledge.without_surface_evidence();
+        self
+    }
+
+    /// The decision probabilities this model assigns to a question (for
+    /// analysis and tests).
+    pub fn decide(&self, query: &Query<'_>) -> Decision {
+        self.knowledge.decide(query.question, query.setting)
+    }
+
+    /// Usage counters since the last [`LanguageModel::reset`].
+    pub fn usage(&self) -> UsageStats {
+        *self.usage.lock()
+    }
+
+    /// Uniform draw in [0,1) from the question's stable identity.
+    fn draw(&self, question: &Question, setting_tag: u64, stream: u64) -> f64 {
+        let key = format!(
+            "{}|{}|{}|{}",
+            question.taxonomy.label(),
+            question.child,
+            question.shown_candidate(),
+            question.id
+        );
+        let h = mix64(hash_str(self.seed ^ setting_tag, &key) ^ stream.wrapping_mul(0x9E3779B97F4A7C15));
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn verdict(&self, query: &Query<'_>) -> Verdict {
+        let question = query.question;
+        // Condition on what the model actually sees: the number of
+        // answered exemplars in the prompt (few-shot saturation).
+        let shots = query.prompt.matches("Example: ").count();
+        let decision = self.knowledge.decide_with_shots(question, query.setting, shots);
+        let setting_tag = query.setting as u64 + 1;
+
+        if self.draw(question, setting_tag, 0) < decision.miss_prob {
+            return Verdict::IDontKnow;
+        }
+        let correct = self.draw(question, setting_tag, 1) < decision.correct_prob;
+        match &question.body {
+            QuestionBody::TrueFalse { expected_yes, .. } => {
+                if correct == *expected_yes {
+                    Verdict::Yes
+                } else {
+                    Verdict::No
+                }
+            }
+            QuestionBody::Mcq { options, correct: gold } => {
+                if correct {
+                    Verdict::Option(*gold)
+                } else {
+                    // Wrong answers gravitate to the most surface-similar
+                    // distractor, like a confused human.
+                    let mut best = (0u8, f64::NEG_INFINITY);
+                    for (i, option) in options.iter().enumerate() {
+                        if i as u8 == *gold {
+                            continue;
+                        }
+                        let sim = trigram_similarity(&question.child, option)
+                            + 0.05 * self.draw(question, setting_tag, 2 + i as u64);
+                        if sim > best.1 {
+                            best = (i as u8, sim);
+                        }
+                    }
+                    Verdict::Option(best.0)
+                }
+            }
+        }
+    }
+}
+
+impl LanguageModel for SimulatedLlm {
+    fn name(&self) -> &str {
+        self.id.display_name()
+    }
+
+    fn answer(&self, query: &Query<'_>) -> String {
+        let verdict = self.verdict(query);
+        let noise = hash_str(self.seed ^ 0xF00D, &query.prompt);
+        let text = render(self.id, query.question, verdict, query.setting, noise);
+        let mut usage = self.usage.lock();
+        usage.queries += 1;
+        usage.prompt_tokens += self.tokenizer.count(&query.prompt) as u64;
+        usage.completion_tokens += self.tokenizer.count(&text) as u64;
+        text
+    }
+
+    fn reset(&self) {
+        *self.usage.lock() = UsageStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxoglimpse_core::dataset::{DatasetBuilder, QuestionDataset};
+    use taxoglimpse_core::domain::TaxonomyKind;
+    use taxoglimpse_core::eval::{EvalConfig, Evaluator};
+    use taxoglimpse_core::prompts::PromptSetting;
+    use taxoglimpse_synth::{generate, GenOptions};
+
+    #[test]
+    fn answers_are_deterministic() {
+        let t = generate(TaxonomyKind::Ebay, GenOptions { seed: 7, scale: 1.0 }).unwrap();
+        let d = DatasetBuilder::new(&t, TaxonomyKind::Ebay, 7)
+            .sample_cap(Some(20))
+            .build(QuestionDataset::Hard)
+            .unwrap();
+        let m = SimulatedLlm::new(ModelId::Gpt4);
+        let e = Evaluator::default();
+        let r1 = e.run(&m, &d);
+        let r2 = e.run(&m, &d);
+        assert_eq!(r1.overall, r2.overall);
+    }
+
+    #[test]
+    fn gpt4_reproduces_its_ebay_hard_anchor() {
+        let t = generate(TaxonomyKind::Ebay, GenOptions { seed: 11, scale: 1.0 }).unwrap();
+        let d = DatasetBuilder::new(&t, TaxonomyKind::Ebay, 11).build(QuestionDataset::Hard).unwrap();
+        let m = SimulatedLlm::new(ModelId::Gpt4);
+        let report = Evaluator::default().run(&m, &d);
+        // Paper: A=0.921, M=0.003 on eBay hard.
+        assert!((report.overall.accuracy() - 0.921).abs() < 0.06, "A={}", report.overall.accuracy());
+        assert!(report.overall.miss_rate() < 0.03, "M={}", report.overall.miss_rate());
+    }
+
+    #[test]
+    fn llama7b_misses_almost_everything_zero_shot() {
+        let t = generate(TaxonomyKind::Amazon, GenOptions { seed: 5, scale: 0.05 }).unwrap();
+        let d = DatasetBuilder::new(&t, TaxonomyKind::Amazon, 5)
+            .sample_cap(Some(60))
+            .build(QuestionDataset::Hard)
+            .unwrap();
+        let m = SimulatedLlm::new(ModelId::Llama2_7b);
+        let report = Evaluator::default().run(&m, &d);
+        assert!(report.overall.miss_rate() > 0.85, "M={}", report.overall.miss_rate());
+        // Few-shot prompting rescues it (Finding 4 / Figure 4(c,d)).
+        let few = Evaluator::new(EvalConfig { setting: PromptSetting::FewShot, ..Default::default() }).run(&m, &d);
+        assert!(few.overall.miss_rate() < 0.3, "few-shot M={}", few.overall.miss_rate());
+        assert!(few.overall.accuracy() > report.overall.accuracy());
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let t = generate(TaxonomyKind::Ebay, GenOptions { seed: 2, scale: 0.5 }).unwrap();
+        let d = DatasetBuilder::new(&t, TaxonomyKind::Ebay, 2)
+            .sample_cap(Some(10))
+            .build(QuestionDataset::Mcq)
+            .unwrap();
+        let m = SimulatedLlm::new(ModelId::Mixtral8x7b);
+        Evaluator::default().run(&m, &d);
+        let usage = m.usage();
+        assert_eq!(usage.queries as usize, d.len());
+        assert!(usage.prompt_tokens > usage.queries * 5);
+        assert!(usage.completion_tokens >= usage.queries);
+        m.reset();
+        assert_eq!(m.usage(), UsageStats::default());
+    }
+
+    #[test]
+    fn different_seeds_change_individual_answers_not_aggregates() {
+        let t = generate(TaxonomyKind::Google, GenOptions { seed: 3, scale: 0.3 }).unwrap();
+        let d = DatasetBuilder::new(&t, TaxonomyKind::Google, 3).build(QuestionDataset::Easy).unwrap();
+        let a = Evaluator::default().run(&SimulatedLlm::with_seed(ModelId::Gpt35, 1), &d);
+        let b = Evaluator::default().run(&SimulatedLlm::with_seed(ModelId::Gpt35, 2), &d);
+        // Aggregates stay close to each other (both calibrated)…
+        assert!((a.overall.accuracy() - b.overall.accuracy()).abs() < 0.08);
+        // …but the seeds genuinely differ somewhere.
+        assert_ne!(a.overall, b.overall);
+    }
+}

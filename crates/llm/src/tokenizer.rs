@@ -1,0 +1,111 @@
+//! A small subword tokenizer used for usage accounting and the
+//! scalability model's latency estimates.
+//!
+//! This is not a trained BPE; it approximates modern LLM tokenizers'
+//! behaviour (≈ 4 characters per token for English, punctuation split
+//! off, long words split into chunks) well enough to drive token-count
+//! dependent cost models.
+
+/// Greedy whitespace + punctuation + chunk tokenizer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tokenizer {
+    _private: (),
+}
+
+/// Maximum characters a single token may span before being chunked.
+const MAX_TOKEN_CHARS: usize = 6;
+
+impl Tokenizer {
+    /// Tokenize into borrowed slices.
+    pub fn tokenize<'a>(&self, text: &'a str) -> Vec<&'a str> {
+        let mut tokens = Vec::with_capacity(text.len() / 4 + 1);
+        for word in text.split_whitespace() {
+            // Split off punctuation runs, then chunk long alphanumerics.
+            let mut rest = word;
+            while !rest.is_empty() {
+                let is_alnum = rest
+                    .chars()
+                    .next()
+                    .map(|c| c.is_alphanumeric())
+                    .unwrap_or(false);
+                let run_end = rest
+                    .char_indices()
+                    .find(|(_, c)| c.is_alphanumeric() != is_alnum)
+                    .map(|(i, _)| i)
+                    .unwrap_or(rest.len());
+                let (run, tail) = rest.split_at(run_end);
+                let mut chunk = run;
+                while chunk.chars().count() > MAX_TOKEN_CHARS {
+                    let split = chunk
+                        .char_indices()
+                        .nth(MAX_TOKEN_CHARS)
+                        .map(|(i, _)| i)
+                        .unwrap_or(chunk.len());
+                    let (head, t) = chunk.split_at(split);
+                    tokens.push(head);
+                    chunk = t;
+                }
+                if !chunk.is_empty() {
+                    tokens.push(chunk);
+                }
+                rest = tail;
+            }
+        }
+        tokens
+    }
+
+    /// Token count of `text`.
+    pub fn count(&self, text: &str) -> usize {
+        self.tokenize(text).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_sentences() {
+        let t = Tokenizer::default();
+        assert_eq!(t.tokenize("Is Hailu a type of"), vec!["Is", "Hailu", "a", "type", "of"]);
+        assert_eq!(t.count(""), 0);
+        assert_eq!(t.count("   "), 0);
+    }
+
+    #[test]
+    fn punctuation_splits_off() {
+        let t = Tokenizer::default();
+        let toks = t.tokenize("know)? answer!");
+        assert!(toks.contains(&"know"));
+        assert!(toks.contains(&")?"));
+        assert!(toks.contains(&"answer"));
+        assert!(toks.contains(&"!"));
+    }
+
+    #[test]
+    fn long_words_are_chunked() {
+        let t = Tokenizer::default();
+        let toks = t.tokenize("Scrophulariaceae");
+        assert!(toks.len() >= 2, "{toks:?}");
+        assert_eq!(toks.concat(), "Scrophulariaceae");
+        for tok in toks {
+            assert!(tok.chars().count() <= MAX_TOKEN_CHARS);
+        }
+    }
+
+    #[test]
+    fn density_is_plausible() {
+        let t = Tokenizer::default();
+        let text = "Is Verbascum chaixii a type of Verbascum? answer with (Yes/No/I don't know)";
+        let n = t.count(text);
+        // Roughly text_len / 4 ± generous slack.
+        assert!((10..=35).contains(&n), "{n} tokens");
+    }
+
+    #[test]
+    fn unicode_does_not_panic() {
+        let t = Tokenizer::default();
+        let n = t.count("naïve café Sinō-Tibetan 語言");
+        assert!(n >= 4);
+    }
+}

@@ -1,0 +1,148 @@
+//! Model leaderboards: rank models by macro-average accuracy over a set
+//! of evaluation reports, with Wilson confidence intervals and miss
+//! rates — the "which model should I use for taxonomy work" view for
+//! the paper's industrial audience.
+
+use serde::{Deserialize, Serialize};
+use taxoglimpse_core::eval::EvalReport;
+use taxoglimpse_core::metrics::Metrics;
+
+/// One leaderboard row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LeaderboardEntry {
+    /// Model name.
+    pub model: String,
+    /// Macro-average accuracy over the model's reports (each report
+    /// weighted equally, like the paper's per-taxonomy averages).
+    pub macro_accuracy: f64,
+    /// Macro-average miss rate.
+    pub macro_miss: f64,
+    /// Micro (pooled) metrics across all the model's questions.
+    pub pooled: Metrics,
+    /// Number of reports (taxonomy × flavor cells) aggregated.
+    pub cells: usize,
+}
+
+impl LeaderboardEntry {
+    /// Wilson 95% CI on the pooled accuracy.
+    pub fn accuracy_ci95(&self) -> (f64, f64) {
+        self.pooled.accuracy_ci95()
+    }
+}
+
+/// Build a leaderboard from reports (any mix of taxonomies/flavors);
+/// rows sorted by macro accuracy, best first.
+pub fn leaderboard(reports: &[EvalReport]) -> Vec<LeaderboardEntry> {
+    let mut by_model: std::collections::BTreeMap<&str, Vec<&EvalReport>> = Default::default();
+    for r in reports {
+        by_model.entry(&r.model).or_default().push(r);
+    }
+    let mut rows: Vec<LeaderboardEntry> = by_model
+        .into_iter()
+        .map(|(model, rs)| {
+            let n = rs.len() as f64;
+            let macro_accuracy = rs.iter().map(|r| r.overall.accuracy()).sum::<f64>() / n;
+            let macro_miss = rs.iter().map(|r| r.overall.miss_rate()).sum::<f64>() / n;
+            let mut pooled = Metrics::default();
+            for r in &rs {
+                pooled += r.overall;
+            }
+            LeaderboardEntry {
+                model: model.to_owned(),
+                macro_accuracy,
+                macro_miss,
+                pooled,
+                cells: rs.len(),
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| b.macro_accuracy.total_cmp(&a.macro_accuracy));
+    rows
+}
+
+/// Render a leaderboard as an aligned text table.
+pub fn render(rows: &[LeaderboardEntry]) -> String {
+    let mut table = crate::table::Table::new(
+        "Leaderboard (macro-average over cells; CI on pooled questions)".to_owned(),
+        vec![
+            "#".into(),
+            "Model".into(),
+            "macro A".into(),
+            "95% CI".into(),
+            "macro M".into(),
+            "cells".into(),
+            "questions".into(),
+        ],
+    );
+    for (i, row) in rows.iter().enumerate() {
+        let (lo, hi) = row.accuracy_ci95();
+        table.push_row(vec![
+            (i + 1).to_string(),
+            row.model.clone(),
+            format!("{:.3}", row.macro_accuracy),
+            format!("[{lo:.3}, {hi:.3}]"),
+            format!("{:.3}", row.macro_miss),
+            row.cells.to_string(),
+            row.pooled.total().to_string(),
+        ]);
+    }
+    table.render_ascii()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxoglimpse_core::dataset::QuestionDataset;
+    use taxoglimpse_core::domain::TaxonomyKind;
+    use taxoglimpse_core::eval::LevelMetrics;
+    use taxoglimpse_core::prompts::PromptSetting;
+
+    fn report(model: &str, correct: usize, wrong: usize, missed: usize) -> EvalReport {
+        let metrics = Metrics { correct, missed, wrong };
+        EvalReport {
+            model: model.into(),
+            taxonomy: TaxonomyKind::Ebay,
+            flavor: QuestionDataset::Hard,
+            setting: PromptSetting::ZeroShot,
+            overall: metrics,
+            by_level: vec![LevelMetrics { child_level: 1, metrics }],
+        }
+    }
+
+    #[test]
+    fn ranks_by_macro_accuracy() {
+        let reports = vec![
+            report("weak", 40, 60, 0),
+            report("strong", 90, 10, 0),
+            report("strong", 80, 20, 0),
+            report("mid", 60, 40, 0),
+        ];
+        let rows = leaderboard(&reports);
+        let names: Vec<&str> = rows.iter().map(|r| r.model.as_str()).collect();
+        assert_eq!(names, vec!["strong", "mid", "weak"]);
+        assert_eq!(rows[0].cells, 2);
+        assert!((rows[0].macro_accuracy - 0.85).abs() < 1e-12);
+        assert_eq!(rows[0].pooled.total(), 200);
+    }
+
+    #[test]
+    fn ci_brackets_the_estimate() {
+        let rows = leaderboard(&[report("m", 80, 20, 0)]);
+        let (lo, hi) = rows[0].accuracy_ci95();
+        assert!(lo < 0.8 && 0.8 < hi);
+    }
+
+    #[test]
+    fn render_contains_every_model() {
+        let rows = leaderboard(&[report("alpha", 5, 5, 0), report("beta", 9, 1, 0)]);
+        let text = render(&rows);
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+        assert!(text.lines().count() >= 5);
+    }
+
+    #[test]
+    fn empty_input_is_empty_board() {
+        assert!(leaderboard(&[]).is_empty());
+    }
+}

@@ -1,0 +1,18 @@
+//! # taxoglimpse-report
+//!
+//! Rendering utilities for the experiment binaries: plain-text/Markdown/
+//! CSV tables ([`table`]), text "figures" (per-level accuracy curves,
+//! radar-chart data, scalability series — [`figures`]), and the
+//! paper-vs-measured comparison used to fill EXPERIMENTS.md
+//! ([`compare`]).
+
+#![warn(missing_docs)]
+
+pub mod compare;
+pub mod figures;
+pub mod leaderboard;
+pub mod table;
+
+pub use compare::{CellComparison, ComparisonSummary};
+pub use figures::Series;
+pub use table::Table;

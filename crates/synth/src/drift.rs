@@ -1,0 +1,180 @@
+//! Release drift: evolving a taxonomy the way curated taxonomies evolve
+//! between versions (Glottolog 4.7 → 4.8, NCBI monthly dumps, …).
+//!
+//! [`evolve`] applies three kinds of curation edits, mostly near the
+//! leaves — which is where real churn concentrates and why the paper's
+//! §5.3 replacement of deep levels saves *maintenance*, not just
+//! construction:
+//!
+//! * **additions** — new children under existing internal nodes, named
+//!   by the taxonomy's own regime;
+//! * **removals** — leaf deletions;
+//! * **moves** — a leaf re-parented to an uncle (re-classification).
+
+use crate::kind::TaxonomyKind;
+use crate::names::Namer;
+use crate::profiles::TaxonomyProfile;
+use crate::rng::fork;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use taxoglimpse_taxonomy::{NodeId, Taxonomy, TaxonomyBuilder};
+
+/// Drift intensity per release.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DriftConfig {
+    /// Fraction of leaves added (relative to current leaf count).
+    pub add_rate: f64,
+    /// Fraction of leaves removed.
+    pub remove_rate: f64,
+    /// Fraction of leaves re-parented to an uncle.
+    pub move_rate: f64,
+}
+
+impl Default for DriftConfig {
+    /// Typical annual churn of a curated taxonomy: a few percent.
+    fn default() -> Self {
+        DriftConfig { add_rate: 0.03, remove_rate: 0.01, move_rate: 0.01 }
+    }
+}
+
+/// Produce the "next release" of `taxonomy`.
+pub fn evolve(taxonomy: &Taxonomy, kind: TaxonomyKind, config: DriftConfig, seed: u64) -> Taxonomy {
+    let mut rng = fork(seed, "drift", kind as u64);
+    let namer = Namer::new(TaxonomyProfile::of(kind).regime);
+
+    let leaves = taxonomy.leaves();
+    let n_remove = ((leaves.len() as f64) * config.remove_rate).round() as usize;
+    let n_move = ((leaves.len() as f64) * config.move_rate).round() as usize;
+    let n_add = ((leaves.len() as f64) * config.add_rate).round() as usize;
+
+    let mut shuffled = leaves.clone();
+    shuffled.shuffle(&mut rng);
+    let removed: std::collections::HashSet<NodeId> =
+        shuffled.iter().copied().take(n_remove).collect();
+    let moved: std::collections::HashMap<NodeId, NodeId> = shuffled
+        .iter()
+        .copied()
+        .skip(n_remove)
+        .take(n_move)
+        .filter_map(|leaf| {
+            let uncles = taxonomy.uncles(leaf);
+            uncles.choose(&mut rng).map(|&u| (leaf, u))
+        })
+        .collect();
+
+    // Rebuild level by level, applying removals and moves, then append
+    // additions.
+    let mut b = TaxonomyBuilder::with_capacity(taxonomy.label(), taxonomy.len() + n_add, 24);
+    let mut remap: Vec<Option<NodeId>> = vec![None; taxonomy.len()];
+    for level in 0..taxonomy.num_levels() {
+        for &id in taxonomy.nodes_at_level(level) {
+            if removed.contains(&id) {
+                continue;
+            }
+            let target_parent = moved.get(&id).copied().or_else(|| taxonomy.parent(id));
+            let new_id = match target_parent {
+                None => b.add_root(taxonomy.name(id)),
+                Some(p) => match remap[p.index()] {
+                    Some(np) => b.add_child(np, taxonomy.name(id)),
+                    None => continue, // parent removed ⇒ subtree goes too
+                },
+            };
+            remap[id.index()] = Some(new_id);
+        }
+    }
+
+    // Additions: fresh children under random internal nodes that kept
+    // their place, at the level below their parent.
+    let internal: Vec<NodeId> = taxonomy
+        .ids()
+        .filter(|&id| !taxonomy.is_leaf(id) && remap[id.index()].is_some())
+        .collect();
+    for i in 0..n_add {
+        if internal.is_empty() {
+            break;
+        }
+        let &parent_old = internal.choose(&mut rng).expect("nonempty");
+        let parent_new = remap[parent_old.index()].expect("filtered to kept nodes");
+        let level = taxonomy.level(parent_old) + 1;
+        let parent_name = taxonomy.name(parent_old).to_owned();
+        let name = namer.child(&mut rng, level, &parent_name, i);
+        // Avoid duplicating an existing sibling name.
+        let name = if rng.gen_bool(0.02) { format!("{name} (new)") } else { name };
+        b.add_child(parent_new, &name);
+    }
+
+    b.build().expect("drift never deepens the taxonomy")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GenOptions};
+    use taxoglimpse_taxonomy::diff::diff;
+    use taxoglimpse_taxonomy::validate;
+
+    fn base() -> Taxonomy {
+        generate(TaxonomyKind::Glottolog, GenOptions { seed: 50, scale: 0.1 }).unwrap()
+    }
+
+    #[test]
+    fn evolved_release_is_valid_and_differs() {
+        let v1 = base();
+        let v2 = evolve(&v1, TaxonomyKind::Glottolog, DriftConfig::default(), 1);
+        validate(&v2).unwrap();
+        let d = diff(&v1, &v2);
+        assert!(!d.is_empty(), "default drift must change something");
+        assert!(!d.added.is_empty());
+        assert!(!d.removed.is_empty());
+    }
+
+    #[test]
+    fn drift_magnitude_tracks_config() {
+        let v1 = base();
+        let leaves = v1.leaves().len() as f64;
+        let config = DriftConfig { add_rate: 0.05, remove_rate: 0.02, move_rate: 0.0 };
+        let v2 = evolve(&v1, TaxonomyKind::Glottolog, config, 2);
+        let d = diff(&v1, &v2);
+        let added = d.added.len() as f64;
+        let removed = d.removed.len() as f64;
+        assert!((added - leaves * 0.05).abs() < leaves * 0.02, "added {added}");
+        assert!((removed - leaves * 0.02).abs() < leaves * 0.01, "removed {removed}");
+    }
+
+    #[test]
+    fn zero_drift_is_identity() {
+        let v1 = base();
+        let v2 = evolve(&v1, TaxonomyKind::Glottolog, DriftConfig { add_rate: 0.0, remove_rate: 0.0, move_rate: 0.0 }, 3);
+        assert!(diff(&v1, &v2).is_empty());
+    }
+
+    #[test]
+    fn moves_reparent_to_uncles() {
+        let v1 = base();
+        let config = DriftConfig { add_rate: 0.0, remove_rate: 0.0, move_rate: 0.05 };
+        let v2 = evolve(&v1, TaxonomyKind::Glottolog, config, 4);
+        validate(&v2).unwrap();
+        let d = diff(&v1, &v2);
+        assert!(!d.moved.is_empty(), "5% move rate must move something");
+        // Node counts unchanged by pure moves.
+        assert_eq!(v1.len(), v2.len());
+    }
+
+    #[test]
+    fn churn_concentrates_at_the_leaves() {
+        let v1 = base();
+        let v2 = evolve(&v1, TaxonomyKind::Glottolog, DriftConfig::default(), 5);
+        let d = diff(&v1, &v2);
+        // Every change touches the leaf region (depth >= 2 of a 6-level
+        // taxonomy): none of the drift operations edits the top levels.
+        assert_eq!(d.changes_at_or_below(1), d.total_changes());
+    }
+
+    #[test]
+    fn deterministic() {
+        let v1 = base();
+        let a = evolve(&v1, TaxonomyKind::Glottolog, DriftConfig::default(), 6);
+        let b = evolve(&v1, TaxonomyKind::Glottolog, DriftConfig::default(), 6);
+        assert_eq!(a.to_tsv(), b.to_tsv());
+    }
+}

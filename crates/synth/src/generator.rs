@@ -1,0 +1,255 @@
+//! Whole-taxonomy generation.
+
+use crate::kind::TaxonomyKind;
+use crate::names::Namer;
+use crate::profiles::TaxonomyProfile;
+use crate::rng::fork;
+use crate::shape::assign_children;
+use std::collections::HashSet;
+use std::fmt;
+use taxoglimpse_taxonomy::{NodeId, Taxonomy, TaxonomyBuilder};
+
+/// Options controlling generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenOptions {
+    /// Master seed; every derived stream is forked from it.
+    pub seed: u64,
+    /// Scale factor in `(0, 1]` applied to the per-level node counts.
+    /// `1.0` reproduces Table 1 exactly; tests use small scales.
+    pub scale: f64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions { seed: DEFAULT_SEED, scale: 1.0 }
+    }
+}
+
+/// Seed used by [`GenOptions::default`]; chosen arbitrarily and fixed so
+/// the default generation is reproducible across releases.
+pub const DEFAULT_SEED: u64 = 0x7a_6c_1a_9e_5e_ed_00_01;
+
+/// Generation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenError {
+    /// Scale outside `(0, 1]`.
+    BadScale,
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::BadScale => write!(f, "scale must be in (0, 1]"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {}
+
+/// Generate the synthetic stand-in for `kind`.
+///
+/// Deterministic: identical `(kind, options)` produce byte-identical
+/// taxonomies.
+pub fn generate(kind: TaxonomyKind, options: GenOptions) -> Result<Taxonomy, GenError> {
+    generate_profile(&TaxonomyProfile::of(kind), options)
+}
+
+/// Generate from an explicit profile (exposed for custom shapes).
+pub fn generate_profile(profile: &TaxonomyProfile, options: GenOptions) -> Result<Taxonomy, GenError> {
+    if !(options.scale > 0.0 && options.scale <= 1.0) {
+        return Err(GenError::BadScale);
+    }
+    let levels = profile.scaled_levels(options.scale);
+    let total: usize = levels.iter().sum();
+    let namer = Namer::new(profile.regime);
+    let label = profile.kind.label();
+    let mut b = TaxonomyBuilder::with_capacity(label, total, 24);
+
+    let mut name_rng = fork(options.seed, label, 0);
+    let mut shape_rng = fork(options.seed, label, 1);
+
+    // Roots.
+    let mut frontier: Vec<NodeId> = Vec::with_capacity(levels[0]);
+    {
+        let mut seen = HashSet::with_capacity(levels[0]);
+        for i in 0..levels[0] {
+            let name = unique_name(&mut seen, |attempt| {
+                let base = namer.root(&mut name_rng, i);
+                decorate(base, attempt)
+            });
+            frontier.push(b.add_root(&name));
+        }
+    }
+
+    // Deeper levels.
+    for (level, &count) in levels.iter().enumerate().skip(1) {
+        let per_parent = assign_children(&mut shape_rng, frontier.len(), count);
+        let mut next = Vec::with_capacity(count);
+        for (parent_slot, &n_children) in per_parent.iter().enumerate() {
+            if n_children == 0 {
+                continue;
+            }
+            let parent_id = frontier[parent_slot];
+            let parent_name = b_name(&b, parent_id).to_owned();
+            let mut seen: HashSet<String> = HashSet::with_capacity(n_children);
+            for sib in 0..n_children {
+                let name = unique_name(&mut seen, |attempt| {
+                    let base = namer.child(&mut name_rng, level, &parent_name, sib);
+                    decorate(base, attempt)
+                });
+                next.push(b.add_child(parent_id, &name));
+            }
+        }
+        frontier = next;
+    }
+
+    Ok(b.build().expect("profile depths are far below the builder limit"))
+}
+
+/// Retry `make` until it yields a name unseen among siblings, decorating
+/// with an attempt counter as a last resort.
+fn unique_name(seen: &mut HashSet<String>, mut make: impl FnMut(usize) -> String) -> String {
+    for attempt in 0..16 {
+        let name = make(attempt);
+        if seen.insert(name.clone()) {
+            return name;
+        }
+    }
+    // Certain fallback: a numeric suffix scanned upward from the sibling
+    // count is guaranteed to terminate.
+    let base = make(0);
+    for k in seen.len().. {
+        let name = format!("{base} #{k}");
+        if seen.insert(name.clone()) {
+            return name;
+        }
+    }
+    unreachable!("the suffix scan always finds a free name")
+}
+
+/// Attempts 0–3 return the base name unchanged (fresh draws); afterwards
+/// append a disambiguating Roman-ish ordinal so termination is certain.
+fn decorate(base: String, attempt: usize) -> String {
+    if attempt < 4 {
+        base
+    } else {
+        format!("{base} {}", attempt - 2)
+    }
+}
+
+/// Read a name back out of the builder.
+fn b_name(b: &TaxonomyBuilder, id: NodeId) -> &str {
+    b.name_of(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxoglimpse_taxonomy::{validate, TaxonomyStats};
+
+    fn opts(scale: f64) -> GenOptions {
+        GenOptions { seed: 42, scale }
+    }
+
+    #[test]
+    fn ebay_matches_table_1_exactly() {
+        let t = generate(TaxonomyKind::Ebay, opts(1.0)).unwrap();
+        validate(&t).unwrap();
+        let s = TaxonomyStats::compute(&t);
+        assert_eq!(s.num_entities, 595);
+        assert_eq!(s.num_trees, 13);
+        assert_eq!(s.nodes_per_level, vec![13, 110, 472]);
+    }
+
+    #[test]
+    fn google_matches_table_1_exactly() {
+        let t = generate(TaxonomyKind::Google, opts(1.0)).unwrap();
+        validate(&t).unwrap();
+        let s = TaxonomyStats::compute(&t);
+        assert_eq!(s.nodes_per_level, vec![21, 192, 1349, 2203, 1830]);
+    }
+
+    #[test]
+    fn all_kinds_generate_at_small_scale() {
+        for kind in TaxonomyKind::ALL {
+            let t = generate(kind, opts(0.01)).unwrap();
+            validate(&t).unwrap();
+            assert!(!t.is_empty(), "{kind}");
+            assert_eq!(
+                t.num_levels(),
+                TaxonomyProfile::of(kind).num_levels(),
+                "{kind} should keep its depth even when scaled"
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(TaxonomyKind::Glottolog, opts(0.05)).unwrap();
+        let b = generate(TaxonomyKind::Glottolog, opts(0.05)).unwrap();
+        assert_eq!(a.to_tsv(), b.to_tsv());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(TaxonomyKind::Ebay, GenOptions { seed: 1, scale: 1.0 }).unwrap();
+        let b = generate(TaxonomyKind::Ebay, GenOptions { seed: 2, scale: 1.0 }).unwrap();
+        assert_ne!(a.to_tsv(), b.to_tsv());
+    }
+
+    #[test]
+    fn sibling_names_are_unique() {
+        let t = generate(TaxonomyKind::Oae, opts(0.2)).unwrap();
+        for id in t.ids() {
+            let kids = t.children(id);
+            let mut names: Vec<&str> = kids.iter().map(|&k| t.name(k)).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate sibling names under {}", t.name(id));
+        }
+    }
+
+    #[test]
+    fn most_nodes_have_uncles() {
+        // Hard-negative sampling needs uncles; the shape algorithm should
+        // make them near-universal.
+        let t = generate(TaxonomyKind::Amazon, opts(0.1)).unwrap();
+        let mut with = 0usize;
+        let mut total = 0usize;
+        for level in 1..t.num_levels() {
+            for &id in t.nodes_at_level(level) {
+                total += 1;
+                if !t.uncles(id).is_empty() {
+                    with += 1;
+                }
+            }
+        }
+        assert!(with as f64 / total as f64 > 0.95, "{with}/{total} nodes have uncles");
+    }
+
+    #[test]
+    fn ncbi_species_level_names_embed_genus() {
+        let t = generate(TaxonomyKind::Ncbi, opts(0.002)).unwrap();
+        let species_level = t.num_levels() - 1;
+        let mut embeds = 0usize;
+        let nodes = t.nodes_at_level(species_level);
+        for &id in nodes {
+            let parent = t.parent(id).unwrap();
+            if t.name(id).starts_with(t.name(parent)) {
+                embeds += 1;
+            }
+        }
+        assert!(
+            embeds as f64 / nodes.len() as f64 > 0.9,
+            "{embeds}/{} species embed the genus",
+            nodes.len()
+        );
+    }
+
+    #[test]
+    fn bad_scale_is_rejected() {
+        assert_eq!(generate(TaxonomyKind::Ebay, opts(0.0)).unwrap_err(), GenError::BadScale);
+        assert_eq!(generate(TaxonomyKind::Ebay, opts(1.5)).unwrap_err(), GenError::BadScale);
+    }
+}

@@ -1,0 +1,148 @@
+//! Instance generation for the instance-typing study (§4.5).
+//!
+//! The paper defines instances differently per taxonomy:
+//!
+//! * **Amazon / Google** — product names crawled under each leaf
+//!   category. We synthesize product titles ("Brand Modifier Head")
+//!   whose head noun echoes the category, matching how real
+//!   listings name products.
+//! * **ICD-10-CM, NCBI, Glottolog, OAE** — the taxonomy's own leaf
+//!   entities *are* the instances (diseases with causes, species,
+//!   languages, adverse events), so no new strings are needed; we expose
+//!   the leaf names directly.
+//! * **eBay, Schema.org, ACM-CCS, GeoNames** — skipped, exactly as in
+//!   the paper (no valid/crawlable instances).
+
+use crate::kind::TaxonomyKind;
+use crate::morphology::{capitalize, pools, pseudo_word, WordStyle};
+use crate::rng::{fork, SynthRng};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use taxoglimpse_taxonomy::{NodeId, Taxonomy};
+
+/// An instance attached to a leaf concept of a taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Instance {
+    /// Instance display name.
+    pub name: String,
+    /// The leaf concept the instance belongs to.
+    pub leaf: NodeId,
+}
+
+/// Generates instances for the six instance-typing taxonomies.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceGenerator {
+    kind: TaxonomyKind,
+    seed: u64,
+}
+
+impl InstanceGenerator {
+    /// Create a generator for `kind`; returns `None` for the four
+    /// taxonomies the paper excludes from instance typing.
+    pub fn new(kind: TaxonomyKind, seed: u64) -> Option<Self> {
+        kind.has_instances().then_some(InstanceGenerator { kind, seed })
+    }
+
+    /// The taxonomy kind this generator serves.
+    pub fn kind(&self) -> TaxonomyKind {
+        self.kind
+    }
+
+    /// Whether instances are synthesized strings (products) rather than
+    /// the taxonomy's own leaves.
+    pub fn synthesizes(&self) -> bool {
+        matches!(self.kind, TaxonomyKind::Amazon | TaxonomyKind::Google)
+    }
+
+    /// Produce up to `per_leaf` instances under each of the given leaves.
+    ///
+    /// For leaf-as-instance taxonomies `per_leaf` is capped at 1 (the
+    /// leaf itself).
+    pub fn instances_for(&self, taxonomy: &Taxonomy, leaves: &[NodeId], per_leaf: usize) -> Vec<Instance> {
+        let mut out = Vec::new();
+        if self.synthesizes() {
+            let mut rng = fork(self.seed, "instances", self.kind as u64);
+            for &leaf in leaves {
+                for i in 0..per_leaf {
+                    out.push(Instance {
+                        name: product_title(&mut rng, taxonomy.name(leaf), i),
+                        leaf,
+                    });
+                }
+            }
+        } else {
+            for &leaf in leaves {
+                out.push(Instance { name: taxonomy.name(leaf).to_owned(), leaf });
+            }
+        }
+        out
+    }
+}
+
+/// Synthesize a product title under a category name. The title ends with
+/// a singular-ish form of the category head noun, like real listings.
+fn product_title(rng: &mut SynthRng, category: &str, ordinal: usize) -> String {
+    let brand = capitalize(&pseudo_word(rng, WordStyle::Plain, 2));
+    let modifier = pools::PRODUCT_MODS.choose(rng).expect("pool");
+    let head = category.split(' ').next_back().unwrap_or(category);
+    let head = head.strip_suffix('s').unwrap_or(head);
+    let series = if rng.gen_bool(0.5) {
+        format!(" {}{}", ['X', 'S', 'Z', 'M', 'P'][ordinal % 5], 100 + (ordinal * 37) % 900)
+    } else {
+        String::new()
+    };
+    format!("{brand} {modifier} {head}{series}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GenOptions};
+
+    #[test]
+    fn excluded_kinds_yield_none() {
+        for kind in [TaxonomyKind::Ebay, TaxonomyKind::Schema, TaxonomyKind::AcmCcs, TaxonomyKind::GeoNames] {
+            assert!(InstanceGenerator::new(kind, 1).is_none(), "{kind}");
+        }
+    }
+
+    #[test]
+    fn product_instances_echo_category_head() {
+        let t = generate(TaxonomyKind::Google, GenOptions { seed: 9, scale: 0.05 }).unwrap();
+        let gen = InstanceGenerator::new(TaxonomyKind::Google, 9).unwrap();
+        assert!(gen.synthesizes());
+        let leaves = t.leaves();
+        let instances = gen.instances_for(&t, &leaves[..5.min(leaves.len())], 3);
+        assert_eq!(instances.len(), 3 * 5.min(leaves.len()));
+        for inst in &instances {
+            let head = t.name(inst.leaf).split(' ').next_back().unwrap();
+            let head = head.strip_suffix('s').unwrap_or(head);
+            assert!(inst.name.contains(head), "{} should echo {head}", inst.name);
+        }
+    }
+
+    #[test]
+    fn leaf_taxonomies_expose_leaves_directly() {
+        let t = generate(TaxonomyKind::Glottolog, GenOptions { seed: 9, scale: 0.02 }).unwrap();
+        let gen = InstanceGenerator::new(TaxonomyKind::Glottolog, 9).unwrap();
+        assert!(!gen.synthesizes());
+        let leaves = t.leaves();
+        let instances = gen.instances_for(&t, &leaves[..4.min(leaves.len())], 10);
+        // per_leaf is ignored for leaf-as-instance taxonomies.
+        assert_eq!(instances.len(), 4.min(leaves.len()));
+        for inst in &instances {
+            assert_eq!(inst.name, t.name(inst.leaf));
+        }
+    }
+
+    #[test]
+    fn instances_are_deterministic() {
+        let t = generate(TaxonomyKind::Amazon, GenOptions { seed: 5, scale: 0.02 }).unwrap();
+        let leaves = t.leaves();
+        let g1 = InstanceGenerator::new(TaxonomyKind::Amazon, 5).unwrap();
+        let g2 = InstanceGenerator::new(TaxonomyKind::Amazon, 5).unwrap();
+        let a = g1.instances_for(&t, &leaves[..3], 2);
+        let b = g2.instances_for(&t, &leaves[..3], 2);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,233 @@
+//! The ten benchmark taxonomies and their eight domains.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The eight application domains of the paper (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Domain {
+    /// Google / Amazon / eBay product categories.
+    Shopping,
+    /// Schema.org.
+    General,
+    /// ACM Computing Classification System.
+    ComputerScience,
+    /// GeoNames.
+    Geography,
+    /// Glottolog.
+    Language,
+    /// ICD-10-CM.
+    Health,
+    /// OAE (Ontology of Adverse Events).
+    Medical,
+    /// NCBI Taxonomy Database.
+    Biology,
+}
+
+impl Domain {
+    /// All domains in the paper's common-to-specialized presentation order.
+    pub const ALL: [Domain; 8] = [
+        Domain::Shopping,
+        Domain::General,
+        Domain::ComputerScience,
+        Domain::Geography,
+        Domain::Language,
+        Domain::Health,
+        Domain::Medical,
+        Domain::Biology,
+    ];
+
+    /// Whether the paper classifies the domain's taxonomies as *common*
+    /// (vs. *specialized*). eBay/Schema/Amazon/Google are the common
+    /// representatives; the rest are specialized (§2.1, Figure 2).
+    pub fn is_common(self) -> bool {
+        matches!(self, Domain::Shopping | Domain::General)
+    }
+}
+
+impl fmt::Display for Domain {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Domain::Shopping => "Shopping",
+            Domain::General => "General",
+            Domain::ComputerScience => "Computer Science",
+            Domain::Geography => "Geography",
+            Domain::Language => "Language",
+            Domain::Health => "Health",
+            Domain::Medical => "Medical",
+            Domain::Biology => "Biology",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The ten benchmark taxonomies, in the paper's column order
+/// (Tables 4–7): eBay, Amazon, Google, Schema, ACM-CCS, GeoNames,
+/// Glottolog, ICD-10-CM, OAE, NCBI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TaxonomyKind {
+    /// eBay Categories.
+    Ebay,
+    /// Amazon Product Category.
+    Amazon,
+    /// Google Product Category.
+    Google,
+    /// Schema.org.
+    Schema,
+    /// ACM Computing Classification System.
+    AcmCcs,
+    /// GeoNames geographical concepts.
+    GeoNames,
+    /// Glottolog languoids.
+    Glottolog,
+    /// ICD-10-CM disease classification.
+    Icd10Cm,
+    /// Ontology of Adverse Events.
+    Oae,
+    /// NCBI Taxonomy Database.
+    Ncbi,
+}
+
+impl TaxonomyKind {
+    /// All ten taxonomies in the paper's column order.
+    pub const ALL: [TaxonomyKind; 10] = [
+        TaxonomyKind::Ebay,
+        TaxonomyKind::Amazon,
+        TaxonomyKind::Google,
+        TaxonomyKind::Schema,
+        TaxonomyKind::AcmCcs,
+        TaxonomyKind::GeoNames,
+        TaxonomyKind::Glottolog,
+        TaxonomyKind::Icd10Cm,
+        TaxonomyKind::Oae,
+        TaxonomyKind::Ncbi,
+    ];
+
+    /// The domain this taxonomy belongs to.
+    pub fn domain(self) -> Domain {
+        match self {
+            TaxonomyKind::Ebay | TaxonomyKind::Amazon | TaxonomyKind::Google => Domain::Shopping,
+            TaxonomyKind::Schema => Domain::General,
+            TaxonomyKind::AcmCcs => Domain::ComputerScience,
+            TaxonomyKind::GeoNames => Domain::Geography,
+            TaxonomyKind::Glottolog => Domain::Language,
+            TaxonomyKind::Icd10Cm => Domain::Health,
+            TaxonomyKind::Oae => Domain::Medical,
+            TaxonomyKind::Ncbi => Domain::Biology,
+        }
+    }
+
+    /// Short lowercase label matching the paper's table headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaxonomyKind::Ebay => "ebay",
+            TaxonomyKind::Amazon => "amazon",
+            TaxonomyKind::Google => "google",
+            TaxonomyKind::Schema => "schema",
+            TaxonomyKind::AcmCcs => "acm-ccs",
+            TaxonomyKind::GeoNames => "geonames",
+            TaxonomyKind::Glottolog => "glottolog",
+            TaxonomyKind::Icd10Cm => "icd-10-cm",
+            TaxonomyKind::Oae => "oae",
+            TaxonomyKind::Ncbi => "ncbi",
+        }
+    }
+
+    /// Display name as printed in the paper's tables.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            TaxonomyKind::Ebay => "eBay",
+            TaxonomyKind::Amazon => "Amazon",
+            TaxonomyKind::Google => "Google",
+            TaxonomyKind::Schema => "Schema",
+            TaxonomyKind::AcmCcs => "ACM-CCS",
+            TaxonomyKind::GeoNames => "GeoNames",
+            TaxonomyKind::Glottolog => "Glottolog",
+            TaxonomyKind::Icd10Cm => "ICD-10-CM",
+            TaxonomyKind::Oae => "OAE",
+            TaxonomyKind::Ncbi => "NCBI",
+        }
+    }
+
+    /// Whether the instance-typing experiment (§4.5) covers this taxonomy.
+    /// The paper skips eBay, Schema.org, ACM-CCS and GeoNames (no valid
+    /// instances or no crawlable source).
+    pub fn has_instances(self) -> bool {
+        matches!(
+            self,
+            TaxonomyKind::Amazon
+                | TaxonomyKind::Google
+                | TaxonomyKind::Glottolog
+                | TaxonomyKind::Icd10Cm
+                | TaxonomyKind::Oae
+                | TaxonomyKind::Ncbi
+        )
+    }
+}
+
+impl fmt::Display for TaxonomyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+impl FromStr for TaxonomyKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        TaxonomyKind::ALL
+            .into_iter()
+            .find(|k| k.label().eq_ignore_ascii_case(s) || k.display_name().eq_ignore_ascii_case(s))
+            .ok_or_else(|| format!("unknown taxonomy {s:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_taxonomies_eight_domains() {
+        assert_eq!(TaxonomyKind::ALL.len(), 10);
+        let mut domains: Vec<Domain> = TaxonomyKind::ALL.iter().map(|k| k.domain()).collect();
+        domains.sort();
+        domains.dedup();
+        assert_eq!(domains.len(), 8);
+    }
+
+    #[test]
+    fn shopping_has_three_taxonomies() {
+        let shopping = TaxonomyKind::ALL
+            .iter()
+            .filter(|k| k.domain() == Domain::Shopping)
+            .count();
+        assert_eq!(shopping, 3);
+    }
+
+    #[test]
+    fn instance_typing_covers_six() {
+        let n = TaxonomyKind::ALL.iter().filter(|k| k.has_instances()).count();
+        assert_eq!(n, 6);
+        assert!(!TaxonomyKind::Ebay.has_instances());
+        assert!(!TaxonomyKind::Schema.has_instances());
+        assert!(!TaxonomyKind::AcmCcs.has_instances());
+        assert!(!TaxonomyKind::GeoNames.has_instances());
+    }
+
+    #[test]
+    fn from_str_accepts_both_forms() {
+        assert_eq!("ncbi".parse::<TaxonomyKind>().unwrap(), TaxonomyKind::Ncbi);
+        assert_eq!("ICD-10-CM".parse::<TaxonomyKind>().unwrap(), TaxonomyKind::Icd10Cm);
+        assert!("nope".parse::<TaxonomyKind>().is_err());
+    }
+
+    #[test]
+    fn common_vs_specialized_split() {
+        assert!(Domain::Shopping.is_common());
+        assert!(Domain::General.is_common());
+        for d in [Domain::ComputerScience, Domain::Geography, Domain::Language, Domain::Health, Domain::Medical, Domain::Biology] {
+            assert!(!d.is_common(), "{d} should be specialized");
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! Name morphology: pseudo-word synthesis and casing helpers.
+//!
+//! Each domain generator composes names from these primitives so that the
+//! *surface form* properties the paper leans on hold in the synthetic
+//! data — most importantly that an NCBI species name embeds its genus
+//! name (`Verbascum chaixii` under `Verbascum`) and that OAE children
+//! share long substrings with their parents (`... AE`).
+
+use crate::rng::SynthRng;
+use rand::seq::SliceRandom;
+
+/// Phonotactic style for pseudo-word generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WordStyle {
+    /// Latinate scientific names (`-us`, `-um`, `-ia` endings).
+    Latin,
+    /// Language/ethnonym flavored (`-ic`, `-ese`, `-ish` endings).
+    Linguistic,
+    /// Plain English-looking filler words.
+    Plain,
+}
+
+const ONSETS: &[&str] = &[
+    "b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "cl",
+    "cr", "dr", "fl", "gr", "pl", "pr", "sc", "sp", "st", "str", "th", "tr", "ch", "ph", "qu",
+];
+const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ae", "ia", "io", "ea", "ou", "ei"];
+const CODAS: &[&str] = &["", "", "", "n", "r", "s", "l", "m", "x", "t", "nd", "rn", "st", "ns"];
+
+const LATIN_ENDINGS: &[&str] = &["us", "um", "a", "is", "ia", "ens", "ii", "ata", "osa", "alis"];
+const LINGUISTIC_ENDINGS: &[&str] = &["ic", "an", "ese", "ish", "i", "ian", "ti", "ua", "o", "ai"];
+
+/// Generate one pseudo-word of `syllables` syllables in the given style.
+pub fn pseudo_word(rng: &mut SynthRng, style: WordStyle, syllables: usize) -> String {
+    let mut w = String::with_capacity(syllables * 3 + 3);
+    for i in 0..syllables.max(1) {
+        w.push_str(ONSETS.choose(rng).expect("nonempty pool"));
+        w.push_str(NUCLEI.choose(rng).expect("nonempty pool"));
+        // Interior codas make clusters too heavy; only allow at the end.
+        if i + 1 == syllables {
+            match style {
+                WordStyle::Latin => w.push_str(LATIN_ENDINGS.choose(rng).expect("nonempty pool")),
+                WordStyle::Linguistic => {
+                    w.push_str(LINGUISTIC_ENDINGS.choose(rng).expect("nonempty pool"))
+                }
+                WordStyle::Plain => w.push_str(CODAS.choose(rng).expect("nonempty pool")),
+            }
+        }
+    }
+    w
+}
+
+/// Capitalize the first ASCII letter.
+pub fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_ascii_uppercase().to_string() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Join words CamelCase (`payment`, `complete` → `PaymentComplete`).
+pub fn camel_case(words: &[&str]) -> String {
+    words.iter().map(|w| capitalize(w)).collect()
+}
+
+/// Title-case every word of a space-separated phrase.
+pub fn title_case(phrase: &str) -> String {
+    phrase
+        .split(' ')
+        .map(capitalize)
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Shared English-ish vocabulary pools used by several domains.
+pub mod pools {
+    /// Product-category head nouns.
+    pub const PRODUCT_HEADS: &[&str] = &[
+        "Accessories", "Appliances", "Audio", "Bags", "Batteries", "Beds", "Bikes", "Books",
+        "Cables", "Cameras", "Chairs", "Cleaners", "Clocks", "Coolers", "Cookware", "Decor",
+        "Desks", "Displays", "Dolls", "Drives", "Filters", "Fixtures", "Footwear", "Furniture",
+        "Games", "Gloves", "Grills", "Guitars", "Hats", "Heaters", "Helmets", "Instruments",
+        "Jackets", "Jewelry", "Keyboards", "Kits", "Lamps", "Lenses", "Lighting", "Locks",
+        "Mats", "Mixers", "Monitors", "Mounts", "Ovens", "Pads", "Pans", "Parts", "Pens",
+        "Phones", "Pillows", "Players", "Printers", "Pumps", "Racks", "Routers", "Rugs",
+        "Scanners", "Screens", "Sensors", "Shelves", "Speakers", "Stands", "Supplies", "Tables",
+        "Tablets", "Tents", "Toners", "Tools", "Toys", "Trimmers", "Watches", "Wipes",
+    ];
+
+    /// Product-category modifiers.
+    pub const PRODUCT_MODS: &[&str] = &[
+        "Acoustic", "Adjustable", "Antique", "Automotive", "Baby", "Bamboo", "Bluetooth",
+        "Ceramic", "Classic", "Commercial", "Compact", "Cordless", "Cotton", "Digital",
+        "Electric", "Ergonomic", "Folding", "Gaming", "Garden", "Glass", "Handheld", "Heavy-Duty",
+        "Home", "Indoor", "Industrial", "Kids", "Kitchen", "Leather", "Marine", "Mechanical",
+        "Medical", "Metal", "Mini", "Modern", "Office", "Outdoor", "Pet", "Portable",
+        "Professional", "Rechargeable", "Rustic", "Smart", "Solar", "Sports", "Stainless",
+        "Travel", "Vintage", "Waterproof", "Wireless", "Wooden",
+    ];
+
+    /// Computer-science research areas (ACM-CCS-like stems).
+    pub const CS_AREAS: &[&str] = &[
+        "algorithms", "architectures", "benchmarking", "clustering", "compilers", "concurrency",
+        "cryptography", "databases", "debugging", "embeddings", "fairness", "indexing",
+        "inference", "kernels", "languages", "learning", "memory management", "middleware",
+        "networks", "optimization", "parsing", "pipelines", "privacy", "provenance",
+        "query processing", "ranking", "reasoning", "recovery", "replication", "retrieval",
+        "scheduling", "security", "semantics", "storage", "streaming", "synthesis", "testing",
+        "transactions", "verification", "virtualization", "visualization", "workflows",
+    ];
+
+    /// CS area qualifiers.
+    pub const CS_QUALIFIERS: &[&str] = &[
+        "adaptive", "approximate", "concurrent", "data-driven", "declarative", "distributed",
+        "dynamic", "empirical", "federated", "formal", "graph-based", "hardware-aware",
+        "incremental", "interactive", "large-scale", "neural", "online", "parallel",
+        "probabilistic", "quantum", "real-time", "relational", "robust", "scalable", "secure",
+        "self-tuning", "semantic", "spatial", "statistical", "streaming", "symbolic", "temporal",
+    ];
+
+    /// Geographic feature terms (GeoNames-like).
+    pub const GEO_FEATURES: &[&str] = &[
+        "archipelago", "basin", "bay", "canal", "canyon", "cape", "cliff", "coast", "crater",
+        "delta", "desert", "dune", "escarpment", "estuary", "fjord", "forest", "glacier", "gorge",
+        "gulf", "harbor", "headland", "highland", "hill", "island", "isthmus", "lagoon", "lake",
+        "marsh", "mesa", "moor", "mountain", "oasis", "pass", "peninsula", "plain", "plateau",
+        "reef", "ridge", "river", "savanna", "sea", "shoal", "sound", "spring", "steppe",
+        "strait", "swamp", "tundra", "valley", "volcano", "waterfall", "wetland",
+    ];
+
+    /// Administrative/settlement terms (GeoNames class A/P-like).
+    pub const GEO_ADMIN: &[&str] = &[
+        "borough", "canton", "capital", "city", "commune", "county", "department", "district",
+        "division", "hamlet", "municipality", "parish", "prefecture", "province", "region",
+        "republic", "settlement", "state", "territory", "town", "township", "village", "ward",
+        "zone",
+    ];
+
+    /// Disease/condition stems (ICD-like).
+    pub const DISEASE_STEMS: &[&str] = &[
+        "arthritis", "carcinoma", "colitis", "dermatitis", "dystrophy", "embolism", "fibrosis",
+        "gastritis", "hepatitis", "hypertension", "infection", "insufficiency", "lesion",
+        "myopathy", "necrosis", "nephritis", "neuropathy", "obstruction", "occlusion", "edema",
+        "pneumonia", "sclerosis", "sepsis", "stenosis", "syndrome", "thrombosis", "ulcer",
+        "anemia", "fracture", "degeneration", "malformation", "deficiency", "dysplasia",
+        "inflammation", "rupture", "atrophy",
+    ];
+
+    /// Anatomical sites (ICD/OAE).
+    pub const BODY_SITES: &[&str] = &[
+        "abdominal", "adrenal", "arterial", "biliary", "bronchial", "cardiac", "cerebral",
+        "cervical", "colonic", "corneal", "cranial", "cutaneous", "dental", "duodenal",
+        "esophageal", "femoral", "gastric", "hepatic", "intestinal", "laryngeal", "lumbar",
+        "mandibular", "nasal", "ocular", "optic", "pancreatic", "pelvic", "pericardial",
+        "peripheral", "pleural", "pulmonary", "renal", "retinal", "spinal", "splenic",
+        "thoracic", "thyroid", "tracheal", "urinary", "vascular", "venous", "vertebral",
+    ];
+
+    /// Adverse-event qualifiers (OAE).
+    pub const AE_QUALIFIERS: &[&str] = &[
+        "acute", "chronic", "delayed", "diffuse", "early-onset", "focal", "generalized",
+        "intermittent", "late-onset", "localized", "mild", "moderate", "persistent",
+        "progressive", "recurrent", "refractory", "severe", "subacute", "transient",
+    ];
+
+    /// Schema.org-like type stems.
+    pub const SCHEMA_STEMS: &[&str] = &[
+        "action", "article", "audience", "booking", "broadcast", "business", "catalog", "claim",
+        "collection", "comment", "contact", "course", "dataset", "delivery", "device",
+        "donation", "episode", "event", "facility", "gallery", "grant", "invoice", "listing",
+        "membership", "menu", "message", "offer", "order", "organization", "payment", "permit",
+        "person", "place", "playlist", "policy", "product", "program", "project", "rating",
+        "report", "reservation", "review", "route", "schedule", "season", "series", "service",
+        "statement", "station", "store", "ticket", "trip", "vehicle", "venue", "work",
+    ];
+
+    /// Schema.org-like modifiers.
+    pub const SCHEMA_MODS: &[&str] = &[
+        "aggregate", "archived", "broadcast", "cancelled", "completed", "creative", "digital",
+        "educational", "exclusive", "featured", "financial", "government", "health", "legal",
+        "local", "media", "medical", "mobile", "official", "online", "partial", "pending",
+        "public", "recurring", "registered", "restricted", "scheduled", "social", "sponsored",
+        "verified", "virtual",
+    ];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::fork;
+
+    #[test]
+    fn pseudo_word_is_deterministic() {
+        let mut a = fork(7, "w", 0);
+        let mut b = fork(7, "w", 0);
+        assert_eq!(
+            pseudo_word(&mut a, WordStyle::Latin, 2),
+            pseudo_word(&mut b, WordStyle::Latin, 2)
+        );
+    }
+
+    #[test]
+    fn styles_produce_expected_endings() {
+        let mut rng = fork(1, "w", 0);
+        for _ in 0..50 {
+            let w = pseudo_word(&mut rng, WordStyle::Latin, 2);
+            assert!(
+                LATIN_ENDINGS.iter().any(|e| w.ends_with(e)),
+                "latin word {w:?} lacks latin ending"
+            );
+            let l = pseudo_word(&mut rng, WordStyle::Linguistic, 2);
+            assert!(
+                LINGUISTIC_ENDINGS.iter().any(|e| l.ends_with(e)),
+                "linguistic word {l:?} lacks ending"
+            );
+        }
+    }
+
+    #[test]
+    fn words_are_nonempty_and_lowercase() {
+        let mut rng = fork(3, "w", 1);
+        for s in 1..4 {
+            let w = pseudo_word(&mut rng, WordStyle::Plain, s);
+            assert!(!w.is_empty());
+            assert!(w.chars().all(|c| c.is_ascii_lowercase() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn casing_helpers() {
+        assert_eq!(capitalize("abc"), "Abc");
+        assert_eq!(capitalize(""), "");
+        assert_eq!(camel_case(&["payment", "complete"]), "PaymentComplete");
+        assert_eq!(title_case("hello wide world"), "Hello Wide World");
+    }
+
+    #[test]
+    fn pools_are_deduplicated() {
+        for pool in [
+            pools::PRODUCT_HEADS,
+            pools::PRODUCT_MODS,
+            pools::CS_AREAS,
+            pools::GEO_FEATURES,
+            pools::DISEASE_STEMS,
+            pools::BODY_SITES,
+            pools::SCHEMA_STEMS,
+        ] {
+            let mut v = pool.to_vec();
+            v.sort_unstable();
+            v.dedup();
+            assert_eq!(v.len(), pool.len(), "pool contains duplicates");
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! Per-domain name generation.
+//!
+//! [`Namer`] produces names for roots and children under a given
+//! [`NameRegime`]. The regimes differ in exactly the dimension the
+//! paper's analysis cares about: **how much of the parent's surface form
+//! a child name shares**. NCBI species embed the genus, OAE children
+//! embed the parent phrase, ICD child codes extend parent codes, while
+//! Glottolog children are surface-independent of their parents.
+
+use crate::morphology::{camel_case, capitalize, pools, pseudo_word, title_case, WordStyle};
+use crate::profiles::NameRegime;
+use crate::rng::SynthRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Stateless name factory for one regime.
+#[derive(Debug, Clone, Copy)]
+pub struct Namer {
+    regime: NameRegime,
+}
+
+impl Namer {
+    /// Create a namer for `regime`.
+    pub fn new(regime: NameRegime) -> Self {
+        Namer { regime }
+    }
+
+    /// Name for the `tree_index`-th root.
+    pub fn root(&self, rng: &mut SynthRng, tree_index: usize) -> String {
+        match self.regime {
+            NameRegime::Shopping => {
+                let head = pools::PRODUCT_HEADS.choose(rng).expect("pool");
+                // Broad top-level category: bare head or an umbrella pair.
+                if rng.gen_bool(0.4) {
+                    (*head).to_owned()
+                } else {
+                    let other = pools::PRODUCT_HEADS.choose(rng).expect("pool");
+                    format!("{head} & {other}")
+                }
+            }
+            NameRegime::SchemaOrg => {
+                const TOPS: &[&str] = &["Thing", "DataType", "Intangible", "Entity", "Resource"];
+                TOPS.get(tree_index)
+                    .map(|s| (*s).to_owned())
+                    .unwrap_or_else(|| camel_case(&[pools::SCHEMA_STEMS.choose(rng).expect("pool")]))
+            }
+            NameRegime::AcmCcs => {
+                const TOPS: &[&str] = &[
+                    "Information systems", "Theory of computation", "Software and its engineering",
+                    "Computer systems organization", "Computing methodologies", "Security and privacy",
+                    "Networks", "Human-centered computing", "Hardware", "Applied computing",
+                    "Mathematics of computing", "Social and professional topics", "General and reference",
+                ];
+                TOPS.get(tree_index)
+                    .map(|s| (*s).to_owned())
+                    .unwrap_or_else(|| title_case(pools::CS_AREAS.choose(rng).expect("pool")))
+            }
+            NameRegime::GeoNames => {
+                const CLASSES: &[(&str, &str)] = &[
+                    ("A", "country, state, region"),
+                    ("H", "stream, lake"),
+                    ("L", "parks, area"),
+                    ("P", "city, village"),
+                    ("R", "road, railroad"),
+                    ("S", "spot, building, farm"),
+                    ("T", "mountain, hill, rock"),
+                    ("U", "undersea"),
+                    ("V", "forest, heath"),
+                ];
+                let (code, desc) = CLASSES[tree_index % CLASSES.len()];
+                format!("{code} — {desc}")
+            }
+            NameRegime::Glottolog => {
+                let stem = pseudo_word(rng, WordStyle::Linguistic, 2);
+                capitalize(&stem)
+            }
+            NameRegime::Icd => {
+                // Chapter: letter range + description.
+                let letter = (b'A' + (tree_index % 26) as u8) as char;
+                let site = pools::BODY_SITES.choose(rng).expect("pool");
+                format!("{letter}00-{letter}99 Diseases of the {site} system")
+            }
+            NameRegime::Oae => {
+                let site = pools::BODY_SITES.choose(rng).expect("pool");
+                let stem = pools::DISEASE_STEMS.choose(rng).expect("pool");
+                format!("{site} {stem} AE")
+            }
+            NameRegime::Ncbi => {
+                // Kingdom / high-level clade.
+                let stem = pseudo_word(rng, WordStyle::Plain, 2);
+                format!("{}ota", capitalize(stem.trim_end_matches(|c: char| !c.is_ascii_alphabetic())))
+            }
+        }
+    }
+
+    /// Name for a child at `level` (1-based relative to roots at 0) under
+    /// a parent named `parent`.
+    pub fn child(&self, rng: &mut SynthRng, level: usize, parent: &str, sibling_index: usize) -> String {
+        match self.regime {
+            NameRegime::Shopping => {
+                let reuse_head = rng.gen_bool(0.55);
+                let modifier = pools::PRODUCT_MODS.choose(rng).expect("pool");
+                if reuse_head {
+                    // Reuse the parent's head noun: moderate similarity.
+                    let head = parent.split(' ').next_back().unwrap_or(parent);
+                    format!("{modifier} {head}")
+                } else {
+                    let head = pools::PRODUCT_HEADS.choose(rng).expect("pool");
+                    format!("{modifier} {head}")
+                }
+            }
+            NameRegime::SchemaOrg => {
+                let stem = capitalize(pools::SCHEMA_STEMS.choose(rng).expect("pool"));
+                if rng.gen_bool(0.5) {
+                    // Extend the parent's trailing CamelWord: PaymentAction.
+                    let tail = camel_tail(parent);
+                    format!("{stem}{tail}")
+                } else {
+                    let m = capitalize(pools::SCHEMA_MODS.choose(rng).expect("pool"));
+                    format!("{m}{stem}")
+                }
+            }
+            NameRegime::AcmCcs => {
+                let q = pools::CS_QUALIFIERS.choose(rng).expect("pool");
+                let a = pools::CS_AREAS.choose(rng).expect("pool");
+                capitalize(&format!("{q} {a}"))
+            }
+            NameRegime::GeoNames => {
+                let feature = if rng.gen_bool(0.35) {
+                    pools::GEO_ADMIN.choose(rng).expect("pool")
+                } else {
+                    pools::GEO_FEATURES.choose(rng).expect("pool")
+                };
+                let code: String = feature
+                    .chars()
+                    .filter(|c| c.is_ascii_alphabetic())
+                    .take(3)
+                    .map(|c| c.to_ascii_uppercase())
+                    .collect();
+                format!("{code}{} {feature}", sibling_index % 10)
+            }
+            NameRegime::Glottolog => {
+                // Children diverge from their parents: fresh stems with
+                // occasional areal prefixes. Deepest level: short dialect
+                // names.
+                let syll = if level >= 5 { 2 } else { 2 + usize::from(rng.gen_bool(0.4)) };
+                let stem = capitalize(&pseudo_word(rng, WordStyle::Linguistic, syll));
+                if rng.gen_bool(0.25) && level < 5 {
+                    const AREALS: &[&str] = &["North", "South", "East", "West", "Nuclear", "Core", "Inner", "Coastal", "Highland", "Central"];
+                    format!("{} {stem}", AREALS.choose(rng).expect("pool"))
+                } else {
+                    stem
+                }
+            }
+            NameRegime::Icd => {
+                // Extend the parent's code: A00-A99 → A3 block → A31 →
+                // A31.4. The code prefix is the first whitespace token.
+                let parent_code = parent.split(' ').next().unwrap_or("X");
+                match level {
+                    1 => {
+                        let letter = parent_code.chars().next().unwrap_or('X');
+                        let d = sibling_index % 10;
+                        let site = pools::BODY_SITES.choose(rng).expect("pool");
+                        let stem = pools::DISEASE_STEMS.choose(rng).expect("pool");
+                        format!("{letter}{d}0-{letter}{d}9 {} {stem}", capitalize(site))
+                    }
+                    2 => {
+                        let block = &parent_code[..2.min(parent_code.len())];
+                        let d = sibling_index % 10;
+                        let stem = pools::DISEASE_STEMS.choose(rng).expect("pool");
+                        let q = pools::AE_QUALIFIERS.choose(rng).expect("pool");
+                        format!("{block}{d} {} {stem}", capitalize(q))
+                    }
+                    _ => {
+                        let code = parent_code.split('-').next().unwrap_or(parent_code);
+                        let d = sibling_index % 10;
+                        let cause = ["viral", "bacterial", "toxic", "traumatic", "congenital", "idiopathic", "autoimmune", "postprocedural"]
+                            .choose(rng)
+                            .expect("pool");
+                        let tail: String = parent
+                            .split_once(' ')
+                            .map(|(_, rest)| rest.to_ascii_lowercase())
+                            .unwrap_or_default();
+                        format!("{code}.{d} {} {tail}", capitalize(cause))
+                    }
+                }
+            }
+            NameRegime::Oae => {
+                // Embed the parent phrase: "<qualifier> <parent>".
+                let body = parent.strip_suffix(" AE").unwrap_or(parent);
+                let q = pools::AE_QUALIFIERS.choose(rng).expect("pool");
+                format!("{q} {body} AE")
+            }
+            NameRegime::Ncbi => match level {
+                1 => format!("{}phyta", capitalize(&pseudo_word(rng, WordStyle::Plain, 2))),
+                2 => format!("{}opsida", capitalize(&pseudo_word(rng, WordStyle::Plain, 2))),
+                3 => format!("{}ales", capitalize(&pseudo_word(rng, WordStyle::Plain, 2))),
+                4 => format!("{}aceae", capitalize(&pseudo_word(rng, WordStyle::Plain, 2))),
+                5 => capitalize(&pseudo_word(rng, WordStyle::Latin, 2)),
+                _ => {
+                    // Species: "<Genus> <epithet>" — embeds the genus name,
+                    // which is what produces the paper's last-level uplift.
+                    let epithet = pseudo_word(rng, WordStyle::Latin, 2);
+                    format!("{parent} {epithet}")
+                }
+            },
+        }
+    }
+}
+
+/// Trailing CamelCase word of a name (`CreativeWork` → `Work`).
+fn camel_tail(name: &str) -> &str {
+    let idx = name
+        .char_indices()
+        .rev()
+        .find(|(i, c)| c.is_ascii_uppercase() && *i > 0)
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    &name[idx..]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::fork;
+
+    #[test]
+    fn camel_tail_extracts_last_word() {
+        assert_eq!(camel_tail("CreativeWork"), "Work");
+        assert_eq!(camel_tail("Thing"), "Thing");
+        assert_eq!(camel_tail("AggregateOfferAction"), "Action");
+    }
+
+    #[test]
+    fn ncbi_species_embeds_genus() {
+        let n = Namer::new(NameRegime::Ncbi);
+        let mut rng = fork(1, "names", 0);
+        let genus = n.child(&mut rng, 5, "Scrophulariaceae", 0);
+        let species = n.child(&mut rng, 6, &genus, 0);
+        assert!(species.starts_with(&genus), "{species} should embed {genus}");
+        assert!(species.len() > genus.len() + 1);
+    }
+
+    #[test]
+    fn oae_child_embeds_parent_phrase() {
+        let n = Namer::new(NameRegime::Oae);
+        let mut rng = fork(2, "names", 0);
+        let root = n.root(&mut rng, 0);
+        assert!(root.ends_with(" AE"));
+        let child = n.child(&mut rng, 1, &root, 0);
+        let body = root.strip_suffix(" AE").unwrap();
+        assert!(child.contains(body), "{child} should embed {body}");
+        assert!(child.ends_with(" AE"));
+    }
+
+    #[test]
+    fn icd_child_codes_extend_parent_codes() {
+        let n = Namer::new(NameRegime::Icd);
+        let mut rng = fork(3, "names", 0);
+        let root = n.root(&mut rng, 0); // A00-A99 ...
+        assert!(root.starts_with("A00-A99"));
+        let l1 = n.child(&mut rng, 1, &root, 3);
+        assert!(l1.starts_with("A3"), "level-1 code should extend chapter letter: {l1}");
+        let l2 = n.child(&mut rng, 2, &l1, 7);
+        assert!(l2.starts_with("A37"), "level-2 code {l2} should extend block A3");
+        let l3 = n.child(&mut rng, 3, &l2, 2);
+        assert!(l3.starts_with("A37.2"), "level-3 code {l3} should extend A37");
+    }
+
+    #[test]
+    fn glottolog_children_do_not_embed_parents() {
+        let n = Namer::new(NameRegime::Glottolog);
+        let mut rng = fork(4, "names", 0);
+        let root = n.root(&mut rng, 0);
+        let mut embeds = 0;
+        for i in 0..50 {
+            let c = n.child(&mut rng, 1, &root, i);
+            if c.contains(&root) {
+                embeds += 1;
+            }
+        }
+        assert_eq!(embeds, 0, "glottolog children should not embed family names");
+    }
+
+    #[test]
+    fn geonames_roots_are_the_nine_classes() {
+        let n = Namer::new(NameRegime::GeoNames);
+        let mut rng = fork(5, "names", 0);
+        let roots: Vec<String> = (0..9).map(|i| n.root(&mut rng, i)).collect();
+        let mut dedup = roots.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 9);
+        assert!(roots[0].starts_with("A —"));
+    }
+
+    #[test]
+    fn shopping_names_look_like_categories() {
+        let n = Namer::new(NameRegime::Shopping);
+        let mut rng = fork(6, "names", 0);
+        let root = n.root(&mut rng, 0);
+        assert!(!root.is_empty());
+        let child = n.child(&mut rng, 1, "Home & Kitchen", 0);
+        assert!(child.contains(' '), "child {child:?} should be a phrase");
+    }
+
+    #[test]
+    fn schema_names_are_camel_case() {
+        let n = Namer::new(NameRegime::SchemaOrg);
+        let mut rng = fork(7, "names", 0);
+        for i in 0..20 {
+            let c = n.child(&mut rng, 2, "CreativeWork", i);
+            assert!(c.chars().next().unwrap().is_ascii_uppercase());
+            assert!(!c.contains(' '), "{c:?} should be CamelCase");
+        }
+    }
+
+    #[test]
+    fn acm_names_are_qualified_areas() {
+        let n = Namer::new(NameRegime::AcmCcs);
+        let mut rng = fork(8, "names", 0);
+        let c = n.child(&mut rng, 2, "Information systems", 0);
+        assert!(c.contains(' '));
+        assert!(c.chars().next().unwrap().is_ascii_uppercase());
+    }
+}

@@ -1,0 +1,136 @@
+//! Popularity simulation — the paper's Figure 2.
+//!
+//! The paper measures taxonomy popularity as the average number of
+//! google.com results for 100 randomly sampled concept names. We cannot
+//! issue web searches offline, so we simulate per-concept hit counts
+//! with a log-normal distribution anchored on each taxonomy's
+//! [`crate::TaxonomyProfile::popularity_hits`], preserving the paper's
+//! ordering: eBay, Schema.org, Amazon and Google are the *common*
+//! taxonomies; ACM-CCS, GeoNames, Glottolog, ICD-10-CM, OAE and NCBI the
+//! *specialized* ones.
+
+use crate::kind::TaxonomyKind;
+use crate::profiles::TaxonomyProfile;
+use crate::rng::fork;
+use rand::Rng;
+use rand::seq::SliceRandom;
+use taxoglimpse_taxonomy::Taxonomy;
+
+/// Simulated per-concept web-hit counts.
+#[derive(Debug, Clone)]
+pub struct PopularityModel {
+    seed: u64,
+    /// Log-space spread of per-concept hits (natural-log sigma).
+    pub sigma: f64,
+}
+
+impl PopularityModel {
+    /// A model with the default spread (about one decimal order of
+    /// magnitude between typical concepts of the same taxonomy).
+    pub fn new(seed: u64) -> Self {
+        PopularityModel { seed, sigma: 1.2 }
+    }
+
+    /// Simulated hit count for one named concept of `kind`.
+    pub fn concept_hits(&self, kind: TaxonomyKind, concept: &str) -> f64 {
+        let anchor = TaxonomyProfile::of(kind).popularity_hits;
+        let h = crate::rng::hash_str(self.seed ^ (kind as u64).wrapping_mul(0x9e3779b97f4a7c15), concept);
+        // Two independent uniforms → one standard normal (Box–Muller).
+        let u1 = ((h >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+        let u2 = (((h.wrapping_mul(0x2545F4914F6CDD1D)) >> 11) as f64 + 0.5) / (1u64 << 53) as f64;
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        anchor * (self.sigma * z).exp()
+    }
+
+    /// The paper's measurement: mean hits over `samples` randomly sampled
+    /// concepts of the generated taxonomy (the paper uses 100).
+    pub fn measure(&self, kind: TaxonomyKind, taxonomy: &Taxonomy, samples: usize) -> f64 {
+        let mut rng = fork(self.seed, "popularity", kind as u64);
+        let ids: Vec<_> = taxonomy.ids().collect();
+        if ids.is_empty() {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for _ in 0..samples {
+            let &id = ids.choose(&mut rng).expect("nonempty");
+            total += self.concept_hits(kind, taxonomy.name(id));
+        }
+        total / samples as f64
+    }
+
+    /// Like [`PopularityModel::measure`] but noise-free: returns the
+    /// anchor directly. Used when only the ordering matters.
+    pub fn anchor(&self, kind: TaxonomyKind) -> f64 {
+        TaxonomyProfile::of(kind).popularity_hits
+    }
+
+    /// A Figure-2 data series: `(kind, mean hits)` for all ten
+    /// taxonomies, most popular first.
+    pub fn figure2_series(&self, taxonomies: &[(TaxonomyKind, &Taxonomy)], samples: usize) -> Vec<(TaxonomyKind, f64)> {
+        let mut series: Vec<(TaxonomyKind, f64)> = taxonomies
+            .iter()
+            .map(|&(kind, tax)| (kind, self.measure(kind, tax, samples)))
+            .collect();
+        series.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        series
+    }
+
+    /// Deterministic noise helper exposed for tests.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Draw a seeded uniform in `(0, 1)` — convenience for callers that
+    /// need auxiliary noise tied to this model's seed.
+    pub fn uniform(&self, tag: &str) -> f64 {
+        let mut rng = fork(self.seed, tag, 0);
+        rng.gen_range(1e-9..1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, GenOptions};
+
+    #[test]
+    fn concept_hits_are_deterministic() {
+        let m = PopularityModel::new(3);
+        let a = m.concept_hits(TaxonomyKind::Ebay, "Wireless Speakers");
+        let b = m.concept_hits(TaxonomyKind::Ebay, "Wireless Speakers");
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn common_beat_specialized_in_expectation() {
+        let m = PopularityModel::new(7);
+        let opts = GenOptions { seed: 7, scale: 0.05 };
+        let common = generate(TaxonomyKind::Ebay, opts).unwrap();
+        let specialized = generate(TaxonomyKind::Ncbi, GenOptions { seed: 7, scale: 0.002 }).unwrap();
+        let hits_common = m.measure(TaxonomyKind::Ebay, &common, 100);
+        let hits_special = m.measure(TaxonomyKind::Ncbi, &specialized, 100);
+        assert!(
+            hits_common > hits_special * 10.0,
+            "common {hits_common:.0} should dwarf specialized {hits_special:.0}"
+        );
+    }
+
+    #[test]
+    fn figure2_orders_by_popularity() {
+        let m = PopularityModel::new(11);
+        let opts = GenOptions { seed: 11, scale: 0.05 };
+        let ebay = generate(TaxonomyKind::Ebay, opts).unwrap();
+        let glotto = generate(TaxonomyKind::Glottolog, GenOptions { seed: 11, scale: 0.02 }).unwrap();
+        let series = m.figure2_series(&[(TaxonomyKind::Glottolog, &glotto), (TaxonomyKind::Ebay, &ebay)], 100);
+        assert_eq!(series[0].0, TaxonomyKind::Ebay);
+        assert!(series[0].1 >= series[1].1);
+    }
+
+    #[test]
+    fn measure_empty_taxonomy_is_zero() {
+        let t = taxoglimpse_taxonomy::TaxonomyBuilder::new("e").build().unwrap();
+        let m = PopularityModel::new(1);
+        assert_eq!(m.measure(TaxonomyKind::Ebay, &t, 10), 0.0);
+    }
+}

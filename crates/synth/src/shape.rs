@@ -1,0 +1,156 @@
+//! Parent-assignment: distributing a level's nodes over the level above.
+//!
+//! Given `parents` nodes at level `k-1` and a target of `children` nodes
+//! at level `k`, [`assign_children`] produces a per-parent child count
+//! such that:
+//!
+//! * counts sum exactly to `children`;
+//! * whenever the shape allows (`children >= 2 * active parents`), every
+//!   parent with any children has **at least two** — so almost every
+//!   node has a sibling and almost every node's parent has siblings,
+//!   which the benchmark's *uncle* (hard-negative) sampling relies on;
+//! * the distribution is right-skewed (a few large families, many small
+//!   ones), like real taxonomies.
+
+use crate::rng::SynthRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Compute a child count per parent (length = `parents`), summing to
+/// `children`. Deterministic given the RNG state.
+///
+/// # Panics
+/// Panics if `parents == 0` while `children > 0`.
+pub fn assign_children(rng: &mut SynthRng, parents: usize, children: usize) -> Vec<usize> {
+    if children == 0 {
+        return vec![0; parents];
+    }
+    assert!(parents > 0, "cannot assign {children} children to zero parents");
+
+    // Choose how many parents are internal (get children at all). Aim for
+    // most parents being internal, but keep a floor of two children per
+    // internal parent when the shape allows it.
+    let max_active_for_two_each = (children / 2).max(1);
+    let active = parents.min(max_active_for_two_each).max(1);
+
+    // Pick which parents are active, uniformly.
+    let mut idx: Vec<usize> = (0..parents).collect();
+    idx.shuffle(rng);
+    let active_idx = &idx[..active];
+
+    let min_each = if children >= 2 * active { 2 } else { 1 };
+    let base = min_each * active;
+    let remaining = children - base.min(children);
+
+    // Skewed weights: w_i = u^alpha with alpha > 1 concentrates mass.
+    let mut weights: Vec<f64> = (0..active).map(|_| rng.gen::<f64>().powf(2.5) + 1e-9).collect();
+    let total: f64 = weights.iter().sum();
+    for w in &mut weights {
+        *w /= total;
+    }
+
+    // Largest-remainder apportionment of `remaining` over the weights.
+    let mut counts = vec![0usize; active];
+    let mut fracs: Vec<(usize, f64)> = Vec::with_capacity(active);
+    let mut assigned = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = w * remaining as f64;
+        let floor = exact.floor() as usize;
+        counts[i] = floor;
+        assigned += floor;
+        fracs.push((i, exact - floor as f64));
+    }
+    let mut leftover = remaining - assigned;
+    fracs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    for &(i, _) in fracs.iter().cycle().take(leftover.min(fracs.len() * 2)) {
+        if leftover == 0 {
+            break;
+        }
+        counts[i] += 1;
+        leftover -= 1;
+    }
+    // Degenerate safety: dump any residue on the first active parent.
+    counts[0] += leftover;
+
+    let mut out = vec![0usize; parents];
+    for (slot, &p) in active_idx.iter().enumerate() {
+        out[p] = counts[slot] + min_each;
+    }
+    // When children < active * min_each (tiny levels), trim overshoot.
+    let mut sum: usize = out.iter().sum();
+    let mut i = 0;
+    while sum > children {
+        if out[idx[i % parents]] > 0 {
+            out[idx[i % parents]] -= 1;
+            sum -= 1;
+        }
+        i += 1;
+    }
+    debug_assert_eq!(out.iter().sum::<usize>(), children);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::fork;
+
+    #[test]
+    fn sums_exactly() {
+        let mut rng = fork(1, "shape", 0);
+        for &(p, c) in &[(13usize, 110usize), (110, 472), (41, 507), (107615, 206956), (1, 1), (5, 2), (10, 0), (3, 100000)] {
+            let counts = assign_children(&mut rng, p, c);
+            assert_eq!(counts.len(), p);
+            assert_eq!(counts.iter().sum::<usize>(), c, "p={p} c={c}");
+        }
+    }
+
+    #[test]
+    fn active_parents_have_at_least_two_children_when_possible() {
+        let mut rng = fork(2, "shape", 0);
+        let counts = assign_children(&mut rng, 50, 300);
+        for &c in &counts {
+            assert!(c == 0 || c >= 2, "active parent with a single child: {c}");
+        }
+        // And most parents should be active for a 6x ratio.
+        let active = counts.iter().filter(|&&c| c > 0).count();
+        assert!(active >= 40, "only {active} active parents");
+    }
+
+    #[test]
+    fn falls_back_to_one_child_when_tight() {
+        let mut rng = fork(3, "shape", 0);
+        // 10 children over 8 parents: can't give everyone 2.
+        let counts = assign_children(&mut rng, 8, 10);
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn zero_children_is_all_zero() {
+        let mut rng = fork(4, "shape", 0);
+        assert_eq!(assign_children(&mut rng, 7, 0), vec![0; 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parents")]
+    fn zero_parents_with_children_panics() {
+        let mut rng = fork(5, "shape", 0);
+        assign_children(&mut rng, 0, 3);
+    }
+
+    #[test]
+    fn distribution_is_skewed() {
+        let mut rng = fork(6, "shape", 0);
+        let counts = assign_children(&mut rng, 100, 10_000);
+        let max = *counts.iter().max().unwrap();
+        let mean = 10_000.0 / 100.0;
+        assert!(max as f64 > mean * 1.5, "max {max} not skewed above mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = assign_children(&mut fork(7, "shape", 1), 20, 100);
+        let b = assign_children(&mut fork(7, "shape", 1), 20, 100);
+        assert_eq!(a, b);
+    }
+}

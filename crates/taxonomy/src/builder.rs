@@ -1,0 +1,360 @@
+//! Incremental construction of [`Taxonomy`] values.
+
+use crate::arena::{Taxonomy, NO_PARENT};
+use crate::node::NodeId;
+use std::fmt;
+
+/// Errors surfaced while building a taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The arena index space (u32) is exhausted.
+    TooManyNodes,
+    /// A node would sit deeper than [`TaxonomyBuilder::MAX_LEVELS`] levels.
+    TooDeep {
+        /// Name of the offending node.
+        name: String,
+    },
+    /// `from_edges` was given a parent index that does not exist.
+    DanglingParent {
+        /// Index of the child with the bad reference.
+        child: usize,
+        /// The nonexistent parent index it referenced.
+        parent: usize,
+    },
+    /// `from_edges` was given edges that form a cycle.
+    Cycle {
+        /// A node on the cycle.
+        node: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::TooManyNodes => write!(f, "taxonomy exceeds u32::MAX nodes"),
+            BuildError::TooDeep { name } => {
+                write!(f, "node {name:?} exceeds the maximum supported depth")
+            }
+            BuildError::DanglingParent { child, parent } => {
+                write!(f, "node {child} references nonexistent parent {parent}")
+            }
+            BuildError::Cycle { node } => write!(f, "parent edges form a cycle through node {node}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Builds a [`Taxonomy`] one node at a time.
+///
+/// Because children can only be attached to already-created nodes, cycles
+/// are impossible by construction; [`TaxonomyBuilder::from_edges`] accepts
+/// arbitrary parent arrays (e.g. from deserialization) and performs full
+/// cycle detection instead.
+#[derive(Debug, Clone)]
+pub struct TaxonomyBuilder {
+    label: String,
+    name_buf: String,
+    name_spans: Vec<(u32, u32)>,
+    parent: Vec<u32>,
+    level: Vec<u8>,
+    child_count: Vec<u32>,
+    roots: Vec<NodeId>,
+    deep_error: Option<BuildError>,
+}
+
+impl TaxonomyBuilder {
+    /// Deepest supported taxonomy (NCBI, the deepest in the paper, has 7).
+    pub const MAX_LEVELS: usize = 64;
+
+    /// Start building a taxonomy with the given label.
+    pub fn new(label: impl Into<String>) -> Self {
+        TaxonomyBuilder {
+            label: label.into(),
+            name_buf: String::new(),
+            name_spans: Vec::new(),
+            parent: Vec::new(),
+            level: Vec::new(),
+            child_count: Vec::new(),
+            roots: Vec::new(),
+            deep_error: None,
+        }
+    }
+
+    /// Pre-allocate space for `n` nodes with about `avg_name` bytes of
+    /// name each. Purely an optimization for large synthetic forests.
+    pub fn with_capacity(label: impl Into<String>, n: usize, avg_name: usize) -> Self {
+        let mut b = Self::new(label);
+        b.name_buf.reserve(n * avg_name);
+        b.name_spans.reserve(n);
+        b.parent.reserve(n);
+        b.level.reserve(n);
+        b.child_count.reserve(n);
+        b
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether no nodes have been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Name of a node already added to this builder. Useful for
+    /// generators that derive child names from the parent's.
+    pub fn name_of(&self, id: NodeId) -> &str {
+        let (start, end) = self.name_spans[id.index()];
+        &self.name_buf[start as usize..end as usize]
+    }
+
+    /// Level of a node already added to this builder.
+    pub fn level_of(&self, id: NodeId) -> usize {
+        self.level[id.index()] as usize
+    }
+
+    fn push_name(&mut self, name: &str) {
+        let start = self.name_buf.len() as u32;
+        self.name_buf.push_str(name);
+        self.name_spans.push((start, self.name_buf.len() as u32));
+    }
+
+    /// Add a new tree root. Panics if the u32 index space overflows.
+    pub fn add_root(&mut self, name: &str) -> NodeId {
+        let id = NodeId(u32::try_from(self.parent.len()).expect("taxonomy exceeds u32::MAX nodes"));
+        self.push_name(name);
+        self.parent.push(NO_PARENT);
+        self.level.push(0);
+        self.child_count.push(0);
+        self.roots.push(id);
+        id
+    }
+
+    /// Add a child under `parent`. Panics if `parent` was not issued by
+    /// this builder.
+    pub fn add_child(&mut self, parent: NodeId, name: &str) -> NodeId {
+        let plevel = self.level[parent.index()] as usize;
+        if plevel + 1 >= Self::MAX_LEVELS && self.deep_error.is_none() {
+            self.deep_error = Some(BuildError::TooDeep { name: name.to_owned() });
+        }
+        let id = NodeId(u32::try_from(self.parent.len()).expect("taxonomy exceeds u32::MAX nodes"));
+        self.push_name(name);
+        self.parent.push(parent.raw());
+        self.level.push((plevel + 1).min(u8::MAX as usize) as u8);
+        self.child_count.push(0);
+        self.child_count[parent.index()] += 1;
+        id
+    }
+
+    /// Finish, producing the immutable taxonomy.
+    pub fn build(self) -> Result<Taxonomy, BuildError> {
+        if let Some(e) = self.deep_error {
+            return Err(e);
+        }
+        let n = self.parent.len();
+
+        // CSR child lists: prefix-sum the counts, then scatter.
+        let mut child_off = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        child_off.push(0);
+        for &c in &self.child_count {
+            acc += c;
+            child_off.push(acc);
+        }
+        let mut cursor = child_off.clone();
+        let mut child_list = vec![NodeId(0); acc as usize];
+        for i in 0..n {
+            let p = self.parent[i];
+            if p != NO_PARENT {
+                let slot = cursor[p as usize];
+                child_list[slot as usize] = NodeId(i as u32);
+                cursor[p as usize] += 1;
+            }
+        }
+
+        // Per-level index.
+        let depth = self.level.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
+        let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); depth];
+        for i in 0..n {
+            by_level[self.level[i] as usize].push(NodeId(i as u32));
+        }
+
+        Ok(Taxonomy {
+            label: self.label,
+            name_buf: self.name_buf,
+            name_spans: self.name_spans,
+            parent: self.parent,
+            level: self.level,
+            child_off,
+            child_list,
+            roots: self.roots,
+            by_level,
+        })
+    }
+
+    /// Build a taxonomy from parallel `names` / `parents` arrays, where
+    /// `parents[i]` is the index of node `i`'s parent or `None` for roots.
+    ///
+    /// Unlike the incremental API this accepts forward references and
+    /// therefore performs explicit dangling-parent and cycle detection.
+    pub fn from_edges(
+        label: impl Into<String>,
+        names: &[String],
+        parents: &[Option<usize>],
+    ) -> Result<Taxonomy, BuildError> {
+        assert_eq!(names.len(), parents.len(), "names/parents length mismatch");
+        let n = names.len();
+        if n > u32::MAX as usize {
+            return Err(BuildError::TooManyNodes);
+        }
+        for (child, p) in parents.iter().enumerate() {
+            if let Some(p) = *p {
+                if p >= n {
+                    return Err(BuildError::DanglingParent { child, parent: p });
+                }
+            }
+        }
+
+        // Compute levels by chasing parents, memoized (0 = unknown,
+        // otherwise level + 1). Cycle detection uses an epoch stamp per
+        // walk so the whole pass is O(n).
+        let mut level_memo = vec![0u32; n];
+        let mut visit_epoch = vec![0u32; n];
+        let mut path = Vec::new();
+        for start in 0..n {
+            if level_memo[start] != 0 {
+                continue;
+            }
+            let epoch = start as u32 + 1;
+            path.clear();
+            let mut cur = start;
+            // Walk up until a memoized node or a root; `base` is the memo
+            // value (level + 1) of the first node *below* which we assign.
+            let mut base = loop {
+                if level_memo[cur] != 0 {
+                    break level_memo[cur];
+                }
+                if visit_epoch[cur] == epoch {
+                    return Err(BuildError::Cycle { node: cur });
+                }
+                visit_epoch[cur] = epoch;
+                path.push(cur);
+                match parents[cur] {
+                    Some(p) => cur = p,
+                    None => {
+                        // `cur` (== last path element) is a root: memoize
+                        // it now and let the walk-back start above it.
+                        let root = path.pop().expect("root was just pushed");
+                        level_memo[root] = 1;
+                        break 1;
+                    }
+                }
+            };
+            // Assign levels top-down along the collected path.
+            for &node in path.iter().rev() {
+                base += 1;
+                level_memo[node] = base;
+            }
+        }
+
+        let max_level = level_memo.iter().map(|&l| l - 1).max().unwrap_or(0) as usize;
+        if n > 0 && max_level >= Self::MAX_LEVELS {
+            return Err(BuildError::TooDeep {
+                name: names
+                    .iter()
+                    .zip(&level_memo)
+                    .find(|(_, &l)| (l - 1) as usize >= Self::MAX_LEVELS)
+                    .map(|(nm, _)| nm.clone())
+                    .unwrap_or_default(),
+            });
+        }
+
+        let mut b = TaxonomyBuilder::with_capacity(label, n, 16);
+        // Insert in level order so parents always precede children; keep a
+        // mapping old index -> new NodeId.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (level_memo[i], i));
+        let mut remap = vec![NodeId(0); n];
+        for &i in &order {
+            remap[i] = match parents[i] {
+                None => b.add_root(&names[i]),
+                Some(p) => b.add_child(remap[p], &names[i]),
+            };
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_matches_incremental() {
+        let names: Vec<String> = ["b", "root", "a"].iter().map(|s| s.to_string()).collect();
+        // b's parent is a, a's parent is root; given out of order.
+        let parents = vec![Some(2), None, Some(1)];
+        let t = TaxonomyBuilder::from_edges("t", &names, &parents).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.num_levels(), 3);
+        let root = t.roots()[0];
+        assert_eq!(t.name(root), "root");
+        let a = t.children(root)[0];
+        assert_eq!(t.name(a), "a");
+        let b = t.children(a)[0];
+        assert_eq!(t.name(b), "b");
+    }
+
+    #[test]
+    fn from_edges_detects_cycles() {
+        let names: Vec<String> = ["x", "y"].iter().map(|s| s.to_string()).collect();
+        let parents = vec![Some(1), Some(0)];
+        let err = TaxonomyBuilder::from_edges("t", &names, &parents).unwrap_err();
+        assert!(matches!(err, BuildError::Cycle { .. }));
+    }
+
+    #[test]
+    fn from_edges_detects_self_loop() {
+        let names = vec!["x".to_string()];
+        let parents = vec![Some(0)];
+        let err = TaxonomyBuilder::from_edges("t", &names, &parents).unwrap_err();
+        assert!(matches!(err, BuildError::Cycle { node: 0 }));
+    }
+
+    #[test]
+    fn from_edges_detects_dangling_parent() {
+        let names = vec!["x".to_string()];
+        let parents = vec![Some(5)];
+        let err = TaxonomyBuilder::from_edges("t", &names, &parents).unwrap_err();
+        assert_eq!(err, BuildError::DanglingParent { child: 0, parent: 5 });
+    }
+
+    #[test]
+    fn from_edges_empty() {
+        let t = TaxonomyBuilder::from_edges("t", &[], &[]).unwrap();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn from_edges_multi_tree() {
+        let names: Vec<String> = ["r1", "r2", "c1", "c2"].iter().map(|s| s.to_string()).collect();
+        let parents = vec![None, None, Some(0), Some(1)];
+        let t = TaxonomyBuilder::from_edges("t", &names, &parents).unwrap();
+        assert_eq!(t.roots().len(), 2);
+        assert_eq!(t.nodes_at_level(1).len(), 2);
+    }
+
+    #[test]
+    fn builder_capacity_path() {
+        let mut b = TaxonomyBuilder::with_capacity("big", 100, 8);
+        let r = b.add_root("r");
+        for i in 0..99 {
+            b.add_child(r, &format!("c{i}"));
+        }
+        assert_eq!(b.len(), 100);
+        let t = b.build().unwrap();
+        assert_eq!(t.children(r).len(), 99);
+    }
+}

@@ -1,0 +1,218 @@
+//! Structural diffs between taxonomy releases.
+//!
+//! Real taxonomies evolve (the paper pins Glottolog v4.8, Schema.org
+//! v26.0, NCBI Sep-2023 precisely because releases differ), and the
+//! §5.3 cost argument is about *maintenance*. [`diff`] compares two
+//! releases by full name paths, classifying nodes as added, removed, or
+//! moved, which is what a maintenance-cost model needs.
+
+use crate::arena::Taxonomy;
+use crate::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+
+/// The difference between two taxonomy releases.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaxonomyDiff {
+    /// Full paths present only in the new release.
+    pub added: Vec<String>,
+    /// Full paths present only in the old release.
+    pub removed: Vec<String>,
+    /// Nodes (unique names in both releases) whose parent path changed:
+    /// `(name, old parent path, new parent path)`.
+    pub moved: Vec<(String, String, String)>,
+}
+
+impl TaxonomyDiff {
+    /// Total number of edit operations.
+    pub fn total_changes(&self) -> usize {
+        self.added.len() + self.removed.len() + self.moved.len()
+    }
+
+    /// Whether the releases are structurally identical.
+    pub fn is_empty(&self) -> bool {
+        self.total_changes() == 0
+    }
+
+    /// Changes whose path depth is at least `level` (used to account
+    /// maintenance that a hybrid taxonomy's replaced levels absorb).
+    pub fn changes_at_or_below(&self, level: usize) -> usize {
+        let depth = |path: &str| path.matches(" > ").count();
+        self.added.iter().filter(|p| depth(p) >= level).count()
+            + self.removed.iter().filter(|p| depth(p) >= level).count()
+            + self
+                .moved
+                .iter()
+                .filter(|(_, _, new_parent)| depth(new_parent) + 1 >= level)
+                .count()
+    }
+}
+
+/// The full `root > … > node` path of `id`.
+pub fn path_of(taxonomy: &Taxonomy, id: NodeId) -> String {
+    let chain = taxonomy.chain_from_root(id);
+    chain
+        .iter()
+        .map(|&n| taxonomy.name(n))
+        .collect::<Vec<_>>()
+        .join(" > ")
+}
+
+/// Compare two releases.
+pub fn diff(old: &Taxonomy, new: &Taxonomy) -> TaxonomyDiff {
+    let old_paths: HashSet<String> = old.ids().map(|id| path_of(old, id)).collect();
+    let new_paths: HashSet<String> = new.ids().map(|id| path_of(new, id)).collect();
+
+    // Unique-name parent maps for move detection.
+    let parent_map = |t: &Taxonomy| -> HashMap<String, Option<String>> {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for id in t.ids() {
+            *counts.entry(t.name(id)).or_default() += 1;
+        }
+        t.ids()
+            .filter(|&id| counts[t.name(id)] == 1)
+            .map(|id| {
+                (
+                    t.name(id).to_owned(),
+                    t.parent(id).map(|p| path_of(t, p)),
+                )
+            })
+            .collect()
+    };
+    let old_parents = parent_map(old);
+    let new_parents = parent_map(new);
+
+    let mut moved = Vec::new();
+    for (name, old_parent) in &old_parents {
+        if let Some(new_parent) = new_parents.get(name) {
+            if old_parent != new_parent {
+                moved.push((
+                    name.clone(),
+                    old_parent.clone().unwrap_or_default(),
+                    new_parent.clone().unwrap_or_default(),
+                ));
+            }
+        }
+    }
+    moved.sort();
+    let moved_names: HashSet<&str> = moved.iter().map(|(n, _, _)| n.as_str()).collect();
+
+    // Added/removed by path, excluding paths explained by a move (the
+    // moved node itself or any descendant of a moved node).
+    let path_is_move_artifact = |path: &str| {
+        path.split(" > ").any(|segment| moved_names.contains(segment))
+    };
+    let mut added: Vec<String> = new_paths
+        .difference(&old_paths)
+        .filter(|p| !path_is_move_artifact(p))
+        .cloned()
+        .collect();
+    let mut removed: Vec<String> = old_paths
+        .difference(&new_paths)
+        .filter(|p| !path_is_move_artifact(p))
+        .cloned()
+        .collect();
+    added.sort();
+    removed.sort();
+
+    TaxonomyDiff { added, removed, moved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxonomyBuilder;
+
+    fn base() -> Taxonomy {
+        let mut b = TaxonomyBuilder::new("v1");
+        let r = b.add_root("Root");
+        let a = b.add_child(r, "Alpha");
+        b.add_child(a, "Alpha-1");
+        b.add_child(r, "Beta");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn identical_releases_diff_empty() {
+        let d = diff(&base(), &base());
+        assert!(d.is_empty());
+        assert_eq!(d.total_changes(), 0);
+    }
+
+    #[test]
+    fn additions_and_removals() {
+        let old = base();
+        let mut b = TaxonomyBuilder::new("v2");
+        let r = b.add_root("Root");
+        let a = b.add_child(r, "Alpha");
+        b.add_child(a, "Alpha-1");
+        b.add_child(a, "Alpha-2"); // added
+        // "Beta" removed
+        let new = b.build().unwrap();
+        let d = diff(&old, &new);
+        assert_eq!(d.added, vec!["Root > Alpha > Alpha-2".to_owned()]);
+        assert_eq!(d.removed, vec!["Root > Beta".to_owned()]);
+        assert!(d.moved.is_empty());
+    }
+
+    #[test]
+    fn moves_are_detected_not_double_counted() {
+        let old = base();
+        let mut b = TaxonomyBuilder::new("v2");
+        let r = b.add_root("Root");
+        let a = b.add_child(r, "Alpha");
+        let beta = b.add_child(r, "Beta");
+        b.add_child(beta, "Alpha-1"); // moved from Alpha to Beta
+        let _ = a;
+        let new = b.build().unwrap();
+        let d = diff(&old, &new);
+        assert_eq!(d.moved.len(), 1);
+        let (name, from, to) = &d.moved[0];
+        assert_eq!(name, "Alpha-1");
+        assert_eq!(from, "Root > Alpha");
+        assert_eq!(to, "Root > Beta");
+        // The move's old/new paths must not also appear as add/remove.
+        assert!(d.added.is_empty(), "{:?}", d.added);
+        assert!(d.removed.is_empty(), "{:?}", d.removed);
+    }
+
+    #[test]
+    fn changes_at_or_below_filters_by_depth() {
+        let old = base();
+        let mut b = TaxonomyBuilder::new("v2");
+        let r = b.add_root("Root");
+        let a = b.add_child(r, "Alpha");
+        b.add_child(a, "Alpha-1");
+        b.add_child(a, "Deep-new"); // depth 2
+        b.add_child(r, "Beta");
+        b.add_child(r, "Shallow-new"); // depth 1
+        let new = b.build().unwrap();
+        let d = diff(&old, &new);
+        assert_eq!(d.total_changes(), 2);
+        assert_eq!(d.changes_at_or_below(2), 1, "only the deep addition");
+        assert_eq!(d.changes_at_or_below(0), 2);
+    }
+
+    #[test]
+    fn duplicate_names_do_not_confuse_move_detection() {
+        // "Twin" exists under two parents in both releases; it must not
+        // be reported as moved.
+        let mk = |label: &str, swap: bool| {
+            let mut b = TaxonomyBuilder::new(label);
+            let r = b.add_root("Root");
+            let a = b.add_child(r, "A");
+            let c = b.add_child(r, "C");
+            if swap {
+                b.add_child(c, "Twin");
+                b.add_child(a, "Twin");
+            } else {
+                b.add_child(a, "Twin");
+                b.add_child(c, "Twin");
+            }
+            b.build().unwrap()
+        };
+        let d = diff(&mk("v1", false), &mk("v2", true));
+        assert!(d.moved.is_empty());
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

@@ -1,0 +1,178 @@
+//! Taxonomy merging — taxonomy-aware catalog integration (the use case
+//! behind the paper's citation \[61\]): combine two releases or two
+//! vendors' taxonomies into one forest, gluing nodes by full name path.
+//!
+//! The left taxonomy's structure wins; paths that exist only in the
+//! right are grafted under their (path-matched) parents. Conflicting
+//! placements of the same-named node simply coexist (names are not
+//! global keys — exactly like real product taxonomies).
+
+use crate::arena::Taxonomy;
+use crate::builder::TaxonomyBuilder;
+use crate::node::NodeId;
+use std::collections::HashMap;
+
+/// Statistics of a merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeStats {
+    /// Nodes taken from the left taxonomy.
+    pub from_left: usize,
+    /// Nodes grafted from the right (paths absent on the left).
+    pub grafted: usize,
+}
+
+/// Merge `left` and `right` by full name paths.
+///
+/// Returns the merged taxonomy (labelled `"<left>+<right>"`) and the
+/// merge statistics. The merged forest always validates: grafted nodes
+/// attach to the node matching their parent's path, which exists by
+/// construction (paths are processed shallowest-first).
+pub fn merge(left: &Taxonomy, right: &Taxonomy) -> (Taxonomy, MergeStats) {
+    let mut b = TaxonomyBuilder::with_capacity(
+        format!("{}+{}", left.label(), right.label()),
+        left.len() + right.len(),
+        16,
+    );
+    // Map full path -> new node id.
+    let mut by_path: HashMap<String, NodeId> = HashMap::with_capacity(left.len());
+
+    // 1. Copy the left taxonomy wholesale, level by level.
+    let mut left_map: Vec<Option<NodeId>> = vec![None; left.len()];
+    for level in 0..left.num_levels() {
+        for &id in left.nodes_at_level(level) {
+            let new_id = match left.parent(id) {
+                None => b.add_root(left.name(id)),
+                Some(p) => b.add_child(left_map[p.index()].expect("parents first"), left.name(id)),
+            };
+            left_map[id.index()] = Some(new_id);
+            by_path.insert(crate::diff::path_of(left, id), new_id);
+        }
+    }
+    let from_left = b.len();
+
+    // 2. Graft right-only paths, shallowest first so parents exist.
+    let mut grafted = 0usize;
+    for level in 0..right.num_levels() {
+        for &id in right.nodes_at_level(level) {
+            let path = crate::diff::path_of(right, id);
+            if by_path.contains_key(&path) {
+                continue;
+            }
+            let new_id = match right.parent(id) {
+                None => b.add_root(right.name(id)),
+                Some(p) => {
+                    let parent_path = crate::diff::path_of(right, p);
+                    let &parent_new = by_path
+                        .get(&parent_path)
+                        .expect("parent path was inserted at the previous level");
+                    b.add_child(parent_new, right.name(id))
+                }
+            };
+            by_path.insert(path, new_id);
+            grafted += 1;
+        }
+    }
+
+    let taxonomy = b.build().expect("merge does not exceed depth limits");
+    (taxonomy, MergeStats { from_left, grafted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diff::diff;
+    use crate::validate;
+
+    fn left() -> Taxonomy {
+        let mut b = TaxonomyBuilder::new("L");
+        let r = b.add_root("Root");
+        let a = b.add_child(r, "Alpha");
+        b.add_child(a, "Alpha-1");
+        b.add_child(r, "Beta");
+        b.build().unwrap()
+    }
+
+    fn right() -> Taxonomy {
+        let mut b = TaxonomyBuilder::new("R");
+        let r = b.add_root("Root");
+        let a = b.add_child(r, "Alpha");
+        b.add_child(a, "Alpha-2"); // new under shared parent
+        let g = b.add_child(r, "Gamma"); // entirely new branch
+        b.add_child(g, "Gamma-1");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn merge_is_union_by_path() {
+        let (merged, stats) = merge(&left(), &right());
+        validate(&merged).unwrap();
+        assert_eq!(stats.from_left, 4);
+        assert_eq!(stats.grafted, 3); // Alpha-2, Gamma, Gamma-1
+        assert_eq!(merged.len(), 7);
+        assert_eq!(merged.label(), "L+R");
+        // The union contains everything from both sides.
+        let d_left = diff(&left(), &merged);
+        assert!(d_left.removed.is_empty(), "{:?}", d_left.removed);
+        let d_right = diff(&right(), &merged);
+        assert!(d_right.removed.is_empty(), "{:?}", d_right.removed);
+    }
+
+    #[test]
+    fn merge_with_self_is_identity_sized() {
+        let t = left();
+        let (merged, stats) = merge(&t, &t);
+        assert_eq!(merged.len(), t.len());
+        assert_eq!(stats.grafted, 0);
+        assert!(diff(&t, &merged).is_empty());
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let t = left();
+        let empty = TaxonomyBuilder::new("E").build().unwrap();
+        let (merged, stats) = merge(&t, &empty);
+        assert_eq!(merged.len(), t.len());
+        assert_eq!(stats.grafted, 0);
+        let (merged2, stats2) = merge(&empty, &t);
+        assert_eq!(merged2.len(), t.len());
+        assert_eq!(stats2.from_left, 0);
+        assert_eq!(stats2.grafted, t.len());
+        validate(&merged2).unwrap();
+    }
+
+    #[test]
+    fn disjoint_roots_coexist() {
+        let mut b = TaxonomyBuilder::new("other");
+        let r = b.add_root("Entirely-Different");
+        b.add_child(r, "Child");
+        let other = b.build().unwrap();
+        let (merged, stats) = merge(&left(), &other);
+        validate(&merged).unwrap();
+        assert_eq!(merged.roots().len(), 2);
+        assert_eq!(stats.grafted, 2);
+    }
+
+    #[test]
+    fn same_name_different_paths_both_survive() {
+        // "Twin" under Alpha on the left, under Beta on the right: they
+        // are different concepts (different paths) and must both exist.
+        let mut lb = TaxonomyBuilder::new("L");
+        let r = lb.add_root("Root");
+        let a = lb.add_child(r, "Alpha");
+        lb.add_child(a, "Twin");
+        lb.add_child(r, "Beta");
+        let l = lb.build().unwrap();
+
+        let mut rb = TaxonomyBuilder::new("R");
+        let r2 = rb.add_root("Root");
+        rb.add_child(r2, "Alpha");
+        let beta = rb.add_child(r2, "Beta");
+        rb.add_child(beta, "Twin");
+        let rt = rb.build().unwrap();
+
+        let (merged, _) = merge(&l, &rt);
+        validate(&merged).unwrap();
+        let idx = merged.name_index();
+        assert_eq!(idx.lookup("Twin").len(), 2);
+    }
+}

@@ -1,0 +1,74 @@
+//! Node identifiers.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node inside a [`crate::Taxonomy`] arena.
+///
+/// A `NodeId` is only meaningful relative to the taxonomy that issued it.
+/// Using an id from one taxonomy against another is a logic error; the
+/// accessors will panic on out-of-range ids rather than silently return
+/// wrong data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// Construct a `NodeId` from a raw index.
+    ///
+    /// Intended for deserialization and test fixtures; ordinary code gets
+    /// ids from the builder or taxonomy queries.
+    #[inline]
+    pub fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw arena index.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The raw index widened to `usize` for slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_round_trip() {
+        let id = NodeId::from_raw(42);
+        assert_eq!(id.raw(), 42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(NodeId::from_raw(7).to_string(), "n7");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(NodeId::from_raw(1) < NodeId::from_raw(2));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let id = NodeId::from_raw(9);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "9");
+        let back: NodeId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}

@@ -1,0 +1,222 @@
+//! Structural invariant checks.
+//!
+//! A well-formed taxonomy satisfies:
+//!
+//! 1. every non-root node's level is its parent's level + 1;
+//! 2. the child lists are exactly the inverse of the parent array;
+//! 3. the root list contains exactly the parentless nodes;
+//! 4. the per-level index partitions the node set;
+//! 5. parent edges are acyclic (implied by 1, checked explicitly anyway).
+
+use crate::arena::{Taxonomy, NO_PARENT};
+use crate::node::NodeId;
+use std::fmt;
+
+/// A violated structural invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// `node.level != parent.level + 1`.
+    LevelMismatch {
+        /// The inconsistent node.
+        node: NodeId,
+        /// Parent level + 1.
+        expected: usize,
+        /// The level actually stored.
+        actual: usize,
+    },
+    /// `node` is missing from its parent's child list.
+    MissingChildLink {
+        /// The parent whose child list is incomplete.
+        parent: NodeId,
+        /// The missing child.
+        node: NodeId,
+    },
+    /// A child list contains a node whose parent pointer disagrees.
+    SpuriousChildLink {
+        /// The parent whose child list has the spurious entry.
+        parent: NodeId,
+        /// The disagreeing child.
+        node: NodeId,
+    },
+    /// The root list disagrees with the parent array.
+    RootListMismatch,
+    /// The per-level index does not partition the node set.
+    LevelIndexMismatch {
+        /// The offending level.
+        level: usize,
+    },
+    /// Walking parent edges from `node` did not terminate.
+    Cycle {
+        /// The starting node of the non-terminating walk.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::LevelMismatch { node, expected, actual } => {
+                write!(f, "{node}: level {actual}, expected {expected}")
+            }
+            ValidationError::MissingChildLink { parent, node } => {
+                write!(f, "{node} not in child list of {parent}")
+            }
+            ValidationError::SpuriousChildLink { parent, node } => {
+                write!(f, "{node} in child list of {parent} but parent pointer disagrees")
+            }
+            ValidationError::RootListMismatch => write!(f, "root list disagrees with parent array"),
+            ValidationError::LevelIndexMismatch { level } => {
+                write!(f, "per-level index wrong at level {level}")
+            }
+            ValidationError::Cycle { node } => write!(f, "parent walk from {node} cycles"),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Check all structural invariants, returning the first violation found.
+pub fn validate(t: &Taxonomy) -> Result<(), ValidationError> {
+    let n = t.len();
+
+    // (1) level consistency + (5) acyclicity: a parent must have a strictly
+    // smaller level, so any parent walk strictly decreases and terminates.
+    for id in t.ids() {
+        match t.parent(id) {
+            None => {
+                if t.level(id) != 0 {
+                    return Err(ValidationError::LevelMismatch {
+                        node: id,
+                        expected: 0,
+                        actual: t.level(id),
+                    });
+                }
+            }
+            Some(p) => {
+                let expected = t.level(p) + 1;
+                if t.level(id) != expected {
+                    return Err(ValidationError::LevelMismatch {
+                        node: id,
+                        expected,
+                        actual: t.level(id),
+                    });
+                }
+            }
+        }
+    }
+
+    // (2) child lists are the inverse of the parent array.
+    for id in t.ids() {
+        if let Some(p) = t.parent(id) {
+            if !t.children(p).contains(&id) {
+                return Err(ValidationError::MissingChildLink { parent: p, node: id });
+            }
+        }
+        for &c in t.children(id) {
+            if t.parent(c) != Some(id) {
+                return Err(ValidationError::SpuriousChildLink { parent: id, node: c });
+            }
+        }
+    }
+    let child_total: usize = t.ids().map(|id| t.children(id).len()).sum();
+    let nonroot_total = t.ids().filter(|&id| t.parent(id).is_some()).count();
+    if child_total != nonroot_total {
+        return Err(ValidationError::RootListMismatch);
+    }
+
+    // (3) root list.
+    let roots_from_parents: Vec<NodeId> =
+        t.ids().filter(|&id| t.parent[id.index()] == NO_PARENT).collect();
+    if roots_from_parents != t.roots() {
+        return Err(ValidationError::RootListMismatch);
+    }
+
+    // (4) per-level index partitions the node set.
+    let mut seen = vec![false; n];
+    for level in 0..t.num_levels() {
+        for &id in t.nodes_at_level(level) {
+            if t.level(id) != level || seen[id.index()] {
+                return Err(ValidationError::LevelIndexMismatch { level });
+            }
+            seen[id.index()] = true;
+        }
+    }
+    if seen.iter().any(|&s| !s) {
+        return Err(ValidationError::LevelIndexMismatch { level: 0 });
+    }
+
+    // (5) explicit bounded parent walk (defense in depth).
+    for id in t.ids() {
+        let mut steps = 0usize;
+        let mut cur = id;
+        while let Some(p) = t.parent(cur) {
+            steps += 1;
+            if steps > n {
+                return Err(ValidationError::Cycle { node: id });
+            }
+            cur = p;
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TaxonomyBuilder;
+
+    fn sample() -> Taxonomy {
+        let mut b = TaxonomyBuilder::new("t");
+        let r = b.add_root("r");
+        let a = b.add_child(r, "a");
+        b.add_child(a, "b");
+        b.add_child(r, "c");
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn well_formed_passes() {
+        validate(&sample()).unwrap();
+    }
+
+    #[test]
+    fn detects_level_mismatch() {
+        let mut t = sample();
+        t.level[2] = 5;
+        assert!(matches!(validate(&t), Err(ValidationError::LevelMismatch { .. })));
+    }
+
+    #[test]
+    fn detects_broken_child_link() {
+        let mut t = sample();
+        // Point node 3 ("c") at node 1 ("a") without fixing child lists.
+        t.parent[3] = 1;
+        t.level[3] = 2;
+        assert!(matches!(
+            validate(&t),
+            Err(ValidationError::MissingChildLink { .. } | ValidationError::SpuriousChildLink { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_root_list_mismatch() {
+        let mut t = sample();
+        t.roots.pop();
+        assert!(matches!(validate(&t), Err(ValidationError::RootListMismatch)));
+    }
+
+    #[test]
+    fn detects_level_index_corruption() {
+        let mut t = sample();
+        let moved = t.by_level[1].pop().unwrap();
+        t.by_level[0].push(moved);
+        assert!(matches!(validate(&t), Err(ValidationError::LevelIndexMismatch { .. })));
+    }
+
+    #[test]
+    fn empty_is_valid() {
+        let t = TaxonomyBuilder::new("e").build().unwrap();
+        validate(&t).unwrap();
+    }
+}

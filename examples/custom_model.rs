@@ -1,0 +1,89 @@
+//! Plugging your own model into the benchmark: implement
+//! [`LanguageModel`] and the whole harness — datasets, prompting,
+//! parsing, metrics — works unchanged.
+//!
+//! The custom model here is an embarrassingly simple *surface-form
+//! baseline*: answer Yes iff the child and candidate names share enough
+//! character trigrams. On name-overlapping taxonomies (OAE, NCBI
+//! species level) it is surprisingly competitive — which is exactly the
+//! paper's point about why LLMs do well there.
+//!
+//! ```text
+//! cargo run --release --example custom_model
+//! ```
+
+use taxoglimpse::core::model::Query;
+use taxoglimpse::core::question::QuestionBody;
+use taxoglimpse::llm::knowledge::trigram_similarity;
+use taxoglimpse::prelude::*;
+
+/// Yes iff trigram similarity clears a threshold; never abstains.
+struct SurfaceBaseline {
+    threshold: f64,
+}
+
+impl LanguageModel for SurfaceBaseline {
+    fn name(&self) -> &str {
+        "trigram-baseline"
+    }
+
+    fn answer(&self, query: &Query<'_>) -> String {
+        match &query.question.body {
+            QuestionBody::TrueFalse { candidate, .. } => {
+                if trigram_similarity(&query.question.child, candidate) >= self.threshold {
+                    "Yes.".to_owned()
+                } else {
+                    "No.".to_owned()
+                }
+            }
+            QuestionBody::Mcq { options, .. } => {
+                let best = options
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        trigram_similarity(&query.question.child, a.1)
+                            .total_cmp(&trigram_similarity(&query.question.child, b.1))
+                    })
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                format!("{})", (b'A' + best as u8) as char)
+            }
+        }
+    }
+}
+
+fn main() {
+    let baseline = SurfaceBaseline { threshold: 0.18 };
+    let zoo = ModelZoo::default_zoo();
+    let gpt4 = zoo.get(ModelId::Gpt4).expect("zoo covers all models");
+    let evaluator = Evaluator::new(EvalConfig::default());
+
+    println!(
+        "{:<12} {:>18} {:>12}",
+        "taxonomy", "trigram-baseline", "GPT-4"
+    );
+    for (kind, scale) in [
+        (TaxonomyKind::Oae, 0.3),
+        (TaxonomyKind::Ncbi, 0.003),
+        (TaxonomyKind::Glottolog, 0.2),
+        (TaxonomyKind::Ebay, 1.0),
+    ] {
+        let taxonomy = generate(kind, GenOptions { seed: 42, scale }).expect("valid options");
+        let dataset = DatasetBuilder::new(&taxonomy, kind, 42)
+            .sample_cap(Some(150))
+            .build(QuestionDataset::Hard)
+            .expect("probe levels exist");
+        let ours = evaluator.run(&baseline, &dataset);
+        let theirs = evaluator.run(gpt4.as_ref(), &dataset);
+        println!(
+            "{:<12} {:>18.3} {:>12.3}",
+            kind.to_string(),
+            ours.overall.accuracy(),
+            theirs.overall.accuracy()
+        );
+    }
+    println!(
+        "\nthe baseline shines exactly where names overlap (OAE) and collapses where they don't \
+         (Glottolog) — the paper's surface-form story, measurable in one trait impl."
+    );
+}

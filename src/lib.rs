@@ -1,0 +1,56 @@
+//! # TaxoGlimpse-RS
+//!
+//! A from-scratch Rust reproduction of *"Are Large Language Models a Good
+//! Replacement of Taxonomies?"* (Sun et al., VLDB 2024) — the TaxoGlimpse
+//! benchmark.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`taxonomy`] — the Is-A forest substrate,
+//! * [`synth`] — synthetic taxonomy/instance generators for the paper's
+//!   ten taxonomies,
+//! * [`core`] — the benchmark itself: question design, sampling, datasets,
+//!   prompting settings, metrics, evaluation harness, case study,
+//! * [`llm`] — the simulated-LLM substrate with the eighteen-model zoo,
+//! * [`report`] — table and figure renderers.
+//!
+//! ```
+//! use taxoglimpse::prelude::*;
+//!
+//! // Generate a small shopping taxonomy, build its hard dataset, and
+//! // evaluate one simulated model on it.
+//! let tax = generate(TaxonomyKind::Ebay, GenOptions::default()).unwrap();
+//! let dataset = DatasetBuilder::new(&tax, TaxonomyKind::Ebay, 7)
+//!     .build(QuestionDataset::Hard)
+//!     .unwrap();
+//! let model = ModelZoo::default_zoo().get(ModelId::Gpt4).unwrap();
+//! let report = Evaluator::new(EvalConfig::default()).run(model.as_ref(), &dataset);
+//! assert!(report.overall.accuracy() > 0.5);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use taxoglimpse_core as core;
+pub use taxoglimpse_llm as llm;
+pub use taxoglimpse_report as report;
+pub use taxoglimpse_synth as synth;
+pub use taxoglimpse_taxonomy as taxonomy;
+
+/// Convenient glob-import surface covering the common workflow types.
+pub mod prelude {
+    pub use taxoglimpse_core::{
+        dataset::{DatasetBuilder, QuestionDataset},
+        domain::{Domain, TaxonomyKind},
+        eval::{EvalConfig, EvalReport, Evaluator},
+        metrics::Metrics,
+        model::LanguageModel,
+        prompts::PromptSetting,
+        question::{Question, QuestionKind},
+    };
+    pub use taxoglimpse_llm::{
+        profile::ModelId,
+        zoo::ModelZoo,
+    };
+    pub use taxoglimpse_synth::{generate, GenOptions};
+    pub use taxoglimpse_taxonomy::{NodeId, Taxonomy, TaxonomyBuilder};
+}
