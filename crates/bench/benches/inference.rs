@@ -1,7 +1,7 @@
 //! Benchmarks of simulated-LLM inference: decision + free-text response
 //! + parsing throughput, per model family and prompt setting.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use taxoglimpse_bench::harness::{black_box, Bench, Throughput};
 use taxoglimpse_core::dataset::{DatasetBuilder, QuestionDataset};
 use taxoglimpse_core::domain::TaxonomyKind;
 use taxoglimpse_core::eval::{EvalConfig, Evaluator};
@@ -12,43 +12,45 @@ use taxoglimpse_llm::profile::ModelId;
 use taxoglimpse_llm::zoo::ModelZoo;
 use taxoglimpse_synth::{generate, GenOptions};
 
-fn bench_trigram(c: &mut Criterion) {
-    c.bench_function("trigram_similarity/species_genus", |b| {
-        b.iter(|| black_box(trigram_similarity(black_box("Verbascum chaixii"), black_box("Verbascum"))));
+fn bench_trigram(b: &mut Bench) {
+    b.bench("trigram_similarity/species_genus", || {
+        trigram_similarity(black_box("Verbascum chaixii"), black_box("Verbascum"))
     });
 }
 
-fn bench_parse(c: &mut Criterion) {
-    c.bench_function("parse_tf/verbose", |b| {
-        b.iter(|| black_box(parse_tf(black_box("Yes, Hailu is a type of Hakka-Chinese."))));
+fn bench_parse(b: &mut Bench) {
+    b.bench("parse_tf/verbose", || {
+        parse_tf(black_box("Yes, Hailu is a type of Hakka-Chinese."))
     });
 }
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference(b: &mut Bench) {
     let ebay = generate(TaxonomyKind::Ebay, GenOptions { seed: 9, scale: 1.0 }).unwrap();
     let dataset = DatasetBuilder::new(&ebay, TaxonomyKind::Ebay, 9)
         .sample_cap(Some(100))
         .build(QuestionDataset::Hard)
         .unwrap();
     let zoo = ModelZoo::default_zoo();
+    let questions = dataset.len() as u64;
 
-    let mut group = c.benchmark_group("inference/ebay_hard_200q");
-    group.throughput(Throughput::Elements(dataset.len() as u64));
     for model_id in [ModelId::Gpt4, ModelId::FlanT5_3b, ModelId::Llama2_7b] {
         let model = zoo.get(model_id).unwrap();
         for setting in [PromptSetting::ZeroShot, PromptSetting::FewShot] {
             let evaluator = Evaluator::new(EvalConfig { setting, ..Default::default() });
-            group.bench_with_input(
-                BenchmarkId::new(model_id.display_name(), setting),
-                &(),
-                |b, _| {
-                    b.iter(|| black_box(evaluator.run(model.as_ref(), &dataset)));
-                },
+            let name = format!(
+                "inference/ebay_hard_200q/{}/{setting}",
+                model_id.display_name()
             );
+            b.bench_with_throughput(&name, Throughput::Elements(questions), || {
+                evaluator.run(model.as_ref(), &dataset)
+            });
         }
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_trigram, bench_parse, bench_inference);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_env();
+    bench_trigram(&mut b);
+    bench_parse(&mut b);
+    bench_inference(&mut b);
+}

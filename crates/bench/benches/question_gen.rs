@@ -1,53 +1,42 @@
 //! Benchmarks of question/dataset generation: Cochran sampling,
 //! negative sampling, MCQ assembly, and whole-dataset builds.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use taxoglimpse_bench::harness::{black_box, Bench, Throughput};
 use taxoglimpse_core::dataset::{DatasetBuilder, QuestionDataset};
 use taxoglimpse_core::domain::TaxonomyKind;
 use taxoglimpse_core::instance_typing::InstanceTypingBuilder;
 use taxoglimpse_core::sampling::cochran_sample_size;
 use taxoglimpse_synth::{generate, GenOptions};
 
-fn bench_sampling(c: &mut Criterion) {
-    c.bench_function("cochran_sample_size/2M", |b| {
-        b.iter(|| black_box(cochran_sample_size(black_box(2_069_560))));
-    });
+fn bench_sampling(b: &mut Bench) {
+    b.bench("cochran_sample_size/2M", || cochran_sample_size(black_box(2_069_560)));
 }
 
-fn bench_dataset_build(c: &mut Criterion) {
+fn bench_dataset_build(b: &mut Bench) {
     let google = generate(TaxonomyKind::Google, GenOptions { seed: 5, scale: 1.0 }).unwrap();
-    let mut group = c.benchmark_group("dataset_build/google");
     for flavor in QuestionDataset::ALL {
-        let builder = DatasetBuilder::new(&google, TaxonomyKind::Google, 5);
-        let n = builder.build(flavor).unwrap().len();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(flavor), &flavor, |b, &flavor| {
-            b.iter(|| {
-                black_box(
-                    DatasetBuilder::new(&google, TaxonomyKind::Google, 5)
-                        .build(flavor)
-                        .unwrap(),
-                )
-            });
+        let n = DatasetBuilder::new(&google, TaxonomyKind::Google, 5).build(flavor).unwrap().len();
+        let name = format!("dataset_build/google/{flavor}");
+        b.bench_with_throughput(&name, Throughput::Elements(n as u64), || {
+            DatasetBuilder::new(&google, TaxonomyKind::Google, 5).build(flavor).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_instance_typing_build(c: &mut Criterion) {
+fn bench_instance_typing_build(b: &mut Bench) {
     let icd = generate(TaxonomyKind::Icd10Cm, GenOptions { seed: 5, scale: 1.0 }).unwrap();
-    c.bench_function("instance_typing_build/icd_hard", |b| {
-        b.iter(|| {
-            black_box(
-                InstanceTypingBuilder::new(&icd, TaxonomyKind::Icd10Cm, 5)
-                    .unwrap()
-                    .sample_cap(Some(200))
-                    .build(QuestionDataset::Hard)
-                    .unwrap(),
-            )
-        });
+    b.bench("instance_typing_build/icd_hard", || {
+        InstanceTypingBuilder::new(&icd, TaxonomyKind::Icd10Cm, 5)
+            .unwrap()
+            .sample_cap(Some(200))
+            .build(QuestionDataset::Hard)
+            .unwrap()
     });
 }
 
-criterion_group!(benches, bench_sampling, bench_dataset_build, bench_instance_typing_build);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_env();
+    bench_sampling(&mut b);
+    bench_dataset_build(&mut b);
+    bench_instance_typing_build(&mut b);
+}

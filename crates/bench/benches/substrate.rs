@@ -2,7 +2,7 @@
 //! codec, the name index, structural reasoning (LCA), diffs, and the
 //! parallel grid runner.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use taxoglimpse_bench::harness::{black_box, Bench, Throughput};
 use taxoglimpse_core::dataset::{Dataset, DatasetBuilder, QuestionDataset};
 use taxoglimpse_core::domain::TaxonomyKind;
 use taxoglimpse_core::grid::GridRunner;
@@ -14,45 +14,41 @@ use taxoglimpse_synth::{generate, GenOptions};
 use taxoglimpse_taxonomy::diff::diff;
 use taxoglimpse_taxonomy::Taxonomy;
 
-fn bench_binary_codec(c: &mut Criterion) {
+fn bench_binary_codec(b: &mut Bench) {
     let t = generate(TaxonomyKind::Glottolog, GenOptions { seed: 2, scale: 1.0 }).unwrap();
     let bytes = t.to_binary();
-    let mut group = c.benchmark_group("binary_codec/glottolog_12k");
-    group.throughput(Throughput::Bytes(bytes.len() as u64));
-    group.bench_function("encode", |b| b.iter(|| black_box(t.to_binary())));
-    group.bench_function("decode", |b| b.iter(|| black_box(Taxonomy::from_binary(&bytes).unwrap())));
-    group.finish();
-}
-
-fn bench_name_index(c: &mut Criterion) {
-    let t = generate(TaxonomyKind::Amazon, GenOptions { seed: 2, scale: 1.0 }).unwrap();
-    c.bench_function("name_index/build_amazon_44k", |b| b.iter(|| black_box(t.name_index())));
-    let idx = t.name_index();
-    let probe = t.name(t.nodes_at_level(3)[17]).to_owned();
-    c.bench_function("name_index/lookup", |b| b.iter(|| black_box(idx.lookup(&probe))));
-    c.bench_function("name_index/prefix", |b| b.iter(|| black_box(idx.prefix("wireless", 20))));
-}
-
-fn bench_reasoning(c: &mut Criterion) {
-    let t = generate(TaxonomyKind::Amazon, GenOptions { seed: 2, scale: 1.0 }).unwrap();
-    let a = *t.nodes_at_level(4).first().unwrap();
-    let b_node = *t.nodes_at_level(4).last().unwrap();
-    c.bench_function("reason/lca_amazon_leaves", |bch| b_iter_lca(bch, &t, a, b_node));
-}
-
-fn b_iter_lca(b: &mut criterion::Bencher, t: &Taxonomy, a: taxoglimpse_taxonomy::NodeId, c: taxoglimpse_taxonomy::NodeId) {
-    b.iter(|| black_box(t.lca(black_box(a), black_box(c))));
-}
-
-fn bench_diff(c: &mut Criterion) {
-    let v1 = generate(TaxonomyKind::Glottolog, GenOptions { seed: 3, scale: 0.5 }).unwrap();
-    let v2 = evolve(&v1, TaxonomyKind::Glottolog, DriftConfig::default(), 3);
-    c.bench_function("diff/glottolog_6k_one_release", |b| {
-        b.iter(|| black_box(diff(&v1, &v2)))
+    let len = bytes.len() as u64;
+    b.bench_with_throughput("binary_codec/glottolog_12k/encode", Throughput::Bytes(len), || {
+        t.to_binary()
+    });
+    b.bench_with_throughput("binary_codec/glottolog_12k/decode", Throughput::Bytes(len), || {
+        Taxonomy::from_binary(&bytes).unwrap()
     });
 }
 
-fn bench_grid(c: &mut Criterion) {
+fn bench_name_index(b: &mut Bench) {
+    let t = generate(TaxonomyKind::Amazon, GenOptions { seed: 2, scale: 1.0 }).unwrap();
+    b.bench("name_index/build_amazon_44k", || t.name_index());
+    let idx = t.name_index();
+    let probe = t.name(t.nodes_at_level(3)[17]).to_owned();
+    b.bench("name_index/lookup", || idx.lookup(black_box(&probe)));
+    b.bench("name_index/prefix", || idx.prefix(black_box("wireless"), 20));
+}
+
+fn bench_reasoning(b: &mut Bench) {
+    let t = generate(TaxonomyKind::Amazon, GenOptions { seed: 2, scale: 1.0 }).unwrap();
+    let a = *t.nodes_at_level(4).first().unwrap();
+    let z = *t.nodes_at_level(4).last().unwrap();
+    b.bench("reason/lca_amazon_leaves", || t.lca(black_box(a), black_box(z)));
+}
+
+fn bench_diff(b: &mut Bench) {
+    let v1 = generate(TaxonomyKind::Glottolog, GenOptions { seed: 3, scale: 0.5 }).unwrap();
+    let v2 = evolve(&v1, TaxonomyKind::Glottolog, DriftConfig::default(), 3);
+    b.bench("diff/glottolog_6k_one_release", || diff(&v1, &v2));
+}
+
+fn bench_grid(b: &mut Bench) {
     let t = generate(TaxonomyKind::Ebay, GenOptions { seed: 4, scale: 1.0 }).unwrap();
     let datasets: Vec<Dataset> = QuestionDataset::ALL
         .iter()
@@ -62,18 +58,21 @@ fn bench_grid(c: &mut Criterion) {
     let zoo = ModelZoo::default_zoo();
     let arcs: Vec<_> = ModelId::ALL.iter().map(|&id| zoo.get(id).unwrap()).collect();
     let models: Vec<&dyn LanguageModel> = arcs.iter().map(|a| a.as_ref() as &dyn LanguageModel).collect();
-    let mut group = c.benchmark_group("grid/18_models_x_3_flavors");
-    group.sample_size(10);
-    group.bench_function("sequential", |b| {
-        let runner = GridRunner::new(Default::default(), 1);
-        b.iter(|| black_box(runner.run_cross(&models, &dataset_refs)))
+    let sequential = GridRunner::new(Default::default(), 1);
+    b.bench("grid/18_models_x_3_flavors/sequential", || {
+        sequential.run_cross(&models, &dataset_refs)
     });
-    group.bench_function("parallel", |b| {
-        let runner = GridRunner::with_available_parallelism(Default::default());
-        b.iter(|| black_box(runner.run_cross(&models, &dataset_refs)))
+    let parallel = GridRunner::with_available_parallelism(Default::default());
+    b.bench("grid/18_models_x_3_flavors/parallel", || {
+        parallel.run_cross(&models, &dataset_refs)
     });
-    group.finish();
 }
 
-criterion_group!(benches, bench_binary_codec, bench_name_index, bench_reasoning, bench_diff, bench_grid);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_env();
+    bench_binary_codec(&mut b);
+    bench_name_index(&mut b);
+    bench_reasoning(&mut b);
+    bench_diff(&mut b);
+    bench_grid(&mut b);
+}

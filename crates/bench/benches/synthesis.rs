@@ -1,37 +1,37 @@
 //! Benchmarks of synthetic taxonomy generation (Table-1 fidelity) and
 //! instance synthesis.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use taxoglimpse_bench::harness::{Bench, Throughput};
 use taxoglimpse_core::domain::TaxonomyKind;
 use taxoglimpse_synth::instances::InstanceGenerator;
 use taxoglimpse_synth::{generate, GenOptions};
 
-fn bench_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("generate");
+fn bench_generation(b: &mut Bench) {
     for kind in [TaxonomyKind::Ebay, TaxonomyKind::Google, TaxonomyKind::Glottolog, TaxonomyKind::Oae] {
         let n = taxoglimpse_synth::TaxonomyProfile::of(kind).num_entities();
-        group.throughput(Throughput::Elements(n as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, &kind| {
-            b.iter(|| black_box(generate(kind, GenOptions { seed: 7, scale: 1.0 }).unwrap()));
+        let name = format!("generate/{}", kind.label());
+        b.bench_with_throughput(&name, Throughput::Elements(n as u64), || {
+            generate(kind, GenOptions { seed: 7, scale: 1.0 }).unwrap()
         });
     }
     // NCBI is 2.19M nodes; bench it at 10% so one sample stays sub-second.
-    group.throughput(Throughput::Elements(219_012));
-    group.bench_function("ncbi_scale_0.1", |b| {
-        b.iter(|| black_box(generate(TaxonomyKind::Ncbi, GenOptions { seed: 7, scale: 0.1 }).unwrap()));
+    b.bench_with_throughput("generate/ncbi_scale_0.1", Throughput::Elements(219_012), || {
+        generate(TaxonomyKind::Ncbi, GenOptions { seed: 7, scale: 0.1 }).unwrap()
     });
-    group.finish();
 }
 
-fn bench_instances(c: &mut Criterion) {
+fn bench_instances(b: &mut Bench) {
     let amazon = generate(TaxonomyKind::Amazon, GenOptions { seed: 7, scale: 0.2 }).unwrap();
     let leaves = amazon.leaves();
     let instgen = InstanceGenerator::new(TaxonomyKind::Amazon, 7).unwrap();
     let sample: Vec<_> = leaves.iter().copied().take(100).collect();
-    c.bench_function("instances/amazon_100_leaves_x12", |b| {
-        b.iter(|| black_box(instgen.instances_for(&amazon, &sample, 12)));
+    b.bench("instances/amazon_100_leaves_x12", || {
+        instgen.instances_for(&amazon, &sample, 12)
     });
 }
 
-criterion_group!(benches, bench_generation, bench_instances);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::from_env();
+    bench_generation(&mut b);
+    bench_instances(&mut b);
+}

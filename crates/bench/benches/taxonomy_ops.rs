@@ -1,40 +1,26 @@
 //! Micro-benchmarks of the taxonomy substrate: construction, traversal,
 //! uncle lookup, validation, and the §5.3 truncation edit.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use taxoglimpse_bench::harness::{black_box, Bench};
 use taxoglimpse_core::domain::TaxonomyKind;
 use taxoglimpse_synth::{generate, GenOptions};
 
-fn bench_taxonomy_ops(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::from_env();
     let amazon = generate(TaxonomyKind::Amazon, GenOptions { seed: 1, scale: 1.0 }).unwrap();
     let glottolog = generate(TaxonomyKind::Glottolog, GenOptions { seed: 1, scale: 1.0 }).unwrap();
 
-    c.bench_function("ancestors/amazon_leaf", |b| {
-        let leaf = *amazon.nodes_at_level(4).first().unwrap();
-        b.iter(|| black_box(amazon.ancestors(black_box(leaf))));
-    });
+    let leaf = *amazon.nodes_at_level(4).first().unwrap();
+    b.bench("ancestors/amazon_leaf", || amazon.ancestors(black_box(leaf)));
 
-    c.bench_function("uncles/amazon_level3", |b| {
-        let node = *amazon.nodes_at_level(3).first().unwrap();
-        b.iter(|| black_box(amazon.uncles(black_box(node))));
-    });
+    let node = *amazon.nodes_at_level(3).first().unwrap();
+    b.bench("uncles/amazon_level3", || amazon.uncles(black_box(node)));
 
-    c.bench_function("breadth_first/glottolog_full", |b| {
-        b.iter(|| black_box(glottolog.breadth_first().count()));
-    });
+    b.bench("breadth_first/glottolog_full", || glottolog.breadth_first().count());
 
-    c.bench_function("validate/amazon", |b| {
-        b.iter(|| taxoglimpse_taxonomy::validate(black_box(&amazon)).unwrap());
-    });
+    b.bench("validate/amazon", || taxoglimpse_taxonomy::validate(black_box(&amazon)).unwrap());
 
-    c.bench_function("truncate_below/amazon_level4", |b| {
-        b.iter(|| black_box(amazon.truncate_below(4)));
-    });
+    b.bench("truncate_below/amazon_level4", || amazon.truncate_below(4));
 
-    c.bench_function("stats/amazon", |b| {
-        b.iter(|| black_box(taxoglimpse_taxonomy::TaxonomyStats::compute(&amazon)));
-    });
+    b.bench("stats/amazon", || taxoglimpse_taxonomy::TaxonomyStats::compute(&amazon));
 }
-
-criterion_group!(benches, bench_taxonomy_ops);
-criterion_main!(benches);

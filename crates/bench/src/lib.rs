@@ -15,6 +15,8 @@
 
 #![warn(missing_docs)]
 
+pub mod harness;
+
 use std::collections::HashMap;
 use std::sync::Mutex;
 use taxoglimpse_core::dataset::{Dataset, DatasetBuilder, QuestionDataset};

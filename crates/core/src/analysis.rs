@@ -14,10 +14,9 @@
 
 use crate::eval::EvalReport;
 use crate::metrics::Metrics;
-use serde::{Deserialize, Serialize};
 
 /// Result of a two-proportion z-test.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ZTest {
     /// The z statistic (positive = first proportion larger).
     pub z: f64,

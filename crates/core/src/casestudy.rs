@@ -22,14 +22,12 @@ use crate::prompts::PromptSetting;
 use crate::question::{NegativeKind, Question, QuestionBody};
 use crate::sampling::cochran_sample_size;
 use crate::templates::{render_question, TemplateVariant};
-use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
 use taxoglimpse_synth::instances::InstanceGenerator;
-use taxoglimpse_synth::rng::fork;
+use taxoglimpse_synth::rng::{fork, SliceRandom};
 use taxoglimpse_taxonomy::Taxonomy;
 
 /// Case-study configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CaseStudyConfig {
     /// Nodes at this level or deeper are replaced by the LLM (the paper
     /// uses 4 for Amazon: root=0 … level-3 kept).
@@ -49,7 +47,7 @@ impl Default for CaseStudyConfig {
 }
 
 /// Case-study outcome.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CaseStudyResult {
     /// Nodes kept (levels `0..cutoff`).
     pub kept_nodes: usize,

@@ -15,16 +15,16 @@ use crate::domain::TaxonomyKind;
 use crate::qgen::QuestionGenerator;
 use crate::question::Question;
 use crate::sampling::cochran_sample_size;
-use serde::{Deserialize, Serialize};
 use std::fmt;
-use taxoglimpse_taxonomy::Taxonomy;
+use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
+use taxoglimpse_taxonomy::{NodeId, Taxonomy};
 
 /// Number of exemplar questions reserved per level for few-shot
 /// prompting (the paper uses five-shot).
 pub const EXEMPLARS_PER_LEVEL: usize = 5;
 
 /// The three dataset flavors of §2.2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QuestionDataset {
     /// positives + random negatives.
     Easy,
@@ -52,7 +52,7 @@ impl fmt::Display for QuestionDataset {
 
 /// All questions probing children of one level, plus that level's
 /// few-shot exemplars.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LevelSlice {
     /// Level of the child entities (1 = "level 1 → root" questions).
     pub child_level: usize,
@@ -64,7 +64,7 @@ pub struct LevelSlice {
 }
 
 /// A complete dataset for one taxonomy and flavor.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// The probed taxonomy.
     pub taxonomy: TaxonomyKind,
@@ -93,6 +93,48 @@ impl Dataset {
     /// Per-level question counts — one row of the paper's Table 4.
     pub fn level_counts(&self) -> Vec<(usize, usize)> {
         self.levels.iter().map(|l| (l.child_level, l.questions.len())).collect()
+    }
+}
+
+taxoglimpse_json::unit_enum_json!(QuestionDataset { Easy, Hard, Mcq });
+
+impl ToJson for LevelSlice {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("child_level", self.child_level.to_json()),
+            ("questions", self.questions.to_json()),
+            ("exemplars", self.exemplars.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LevelSlice {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(LevelSlice {
+            child_level: json.field_as("child_level")?,
+            questions: json.field_as("questions")?,
+            exemplars: json.field_as("exemplars")?,
+        })
+    }
+}
+
+impl ToJson for Dataset {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("taxonomy", self.taxonomy.to_json()),
+            ("flavor", self.flavor.to_json()),
+            ("levels", self.levels.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Dataset {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Dataset {
+            taxonomy: json.field_as("taxonomy")?,
+            flavor: json.field_as("flavor")?,
+            levels: json.field_as("levels")?,
+        })
     }
 }
 
@@ -166,8 +208,21 @@ impl<'t> DatasetBuilder<'t> {
     /// Build one level slice.
     pub fn build_level(&self, flavor: QuestionDataset, child_level: usize) -> LevelSlice {
         let s = self.level_sample_size(child_level);
-        let sampled = self.generator.sample_children(child_level, s + EXEMPLARS_PER_LEVEL);
-        let (eval_children, exemplar_children) = sampled.split_at(s.min(sampled.len()));
+        let sampled = self.generator.sample_children(child_level, s + EXEMPLARS_PER_LEVEL * 4);
+        let (eval_children, exemplar_pool) = sampled.split_at(s.min(sampled.len()));
+
+        // Exemplars must be held out from the eval set *by name*: node
+        // ids are disjoint by construction, but names at a level need
+        // not be unique, and a same-named exemplar would leak the answer
+        // into the few-shot prompt. Over-sample and skip collisions.
+        let eval_names: std::collections::HashSet<&str> =
+            eval_children.iter().map(|&c| self.taxonomy.name(c)).collect();
+        let exemplar_children: Vec<NodeId> = exemplar_pool
+            .iter()
+            .copied()
+            .filter(|&c| !eval_names.contains(self.taxonomy.name(c)))
+            .take(EXEMPLARS_PER_LEVEL)
+            .collect();
 
         let mut rng = self.generator.negatives_rng(child_level);
         let mut questions = Vec::with_capacity(eval_children.len() * 2);
@@ -318,8 +373,8 @@ mod tests {
         let b = DatasetBuilder::new(&t, TaxonomyKind::Ebay, 6);
         let a = b.build(QuestionDataset::Hard).unwrap();
         let b2 = DatasetBuilder::new(&t, TaxonomyKind::Ebay, 6).build(QuestionDataset::Hard).unwrap();
-        let ja = serde_json::to_string(&a).unwrap();
-        let jb = serde_json::to_string(&b2).unwrap();
+        let ja = taxoglimpse_json::to_string(&a).unwrap();
+        let jb = taxoglimpse_json::to_string(&b2).unwrap();
         assert_eq!(ja, jb);
     }
 

@@ -19,10 +19,10 @@ use crate::model::{LanguageModel, Query};
 use crate::parse::{parse_mcq, parse_tf, ParsedAnswer};
 use crate::prompts::render_prompt;
 use crate::question::{NegativeKind, Question, QuestionBody, QuestionKind};
-use serde::{Deserialize, Serialize};
+use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
 
 /// One fully recorded question/answer exchange.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Exchange {
     /// Question id within its dataset.
     pub question_id: u64,
@@ -43,8 +43,38 @@ pub struct Exchange {
     pub similarity: f64,
 }
 
+impl ToJson for Exchange {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("question_id", self.question_id.to_json()),
+            ("child_level", self.child_level.to_json()),
+            ("negative", self.negative.to_json()),
+            ("prompt", self.prompt.to_json()),
+            ("response", self.response.to_json()),
+            ("parsed", self.parsed.to_json()),
+            ("outcome", self.outcome.to_json()),
+            ("similarity", self.similarity.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Exchange {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Exchange {
+            question_id: json.field_as("question_id")?,
+            child_level: json.field_as("child_level")?,
+            negative: json.field_as("negative")?,
+            prompt: json.field_as("prompt")?,
+            response: json.field_as("response")?,
+            parsed: json.field_as("parsed")?,
+            outcome: json.field_as("outcome")?,
+            similarity: json.field_as("similarity")?,
+        })
+    }
+}
+
 /// A complete recorded run of one model over one dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DetailedRun {
     /// Model name.
     pub model: String,
@@ -134,18 +164,18 @@ impl DetailedRun {
     pub fn to_jsonl(&self) -> String {
         let mut out = String::new();
         for e in &self.exchanges {
-            out.push_str(&serde_json::to_string(e).expect("exchanges serialize"));
+            out.push_str(&taxoglimpse_json::to_string(e).expect("exchanges serialize"));
             out.push('\n');
         }
         out
     }
 
     /// Parse a JSONL transcript back.
-    pub fn from_jsonl(model: impl Into<String>, jsonl: &str) -> Result<Self, serde_json::Error> {
+    pub fn from_jsonl(model: impl Into<String>, jsonl: &str) -> Result<Self, JsonError> {
         let exchanges = jsonl
             .lines()
             .filter(|l| !l.trim().is_empty())
-            .map(serde_json::from_str)
+            .map(taxoglimpse_json::from_str)
             .collect::<Result<Vec<Exchange>, _>>()?;
         Ok(DetailedRun { model: model.into(), exchanges })
     }

@@ -21,13 +21,11 @@ use crate::prompts::PromptSetting;
 use crate::question::{Question, QuestionBody};
 use crate::sampling::cochran_sample_size;
 use crate::templates::{render_question, TemplateVariant};
-use rand::seq::SliceRandom;
-use serde::{Deserialize, Serialize};
-use taxoglimpse_synth::rng::fork;
+use taxoglimpse_synth::rng::{fork, SliceRandom};
 use taxoglimpse_taxonomy::{NodeId, Taxonomy};
 
 /// A proposed attachment for one entity.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     /// The entity being attached.
     pub entity: String,
@@ -117,7 +115,7 @@ impl<'t> Enricher<'t> {
 }
 
 /// Result of the leaf-reattachment evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReattachmentReport {
     /// Leaves evaluated.
     pub evaluated: usize,

@@ -10,10 +10,10 @@ use crate::parse::{parse_mcq, parse_tf, ParsedAnswer};
 use crate::prompts::{render_prompt, PromptSetting};
 use crate::question::{Question, QuestionBody, QuestionKind};
 use crate::templates::TemplateVariant;
-use serde::{Deserialize, Serialize};
+use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
 
 /// Evaluation configuration.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalConfig {
     /// Prompting setting (zero-shot by default).
     pub setting: PromptSetting,
@@ -22,7 +22,7 @@ pub struct EvalConfig {
 }
 
 /// Metrics for one child level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LevelMetrics {
     /// Level of the probed children.
     pub child_level: usize,
@@ -31,7 +31,7 @@ pub struct LevelMetrics {
 }
 
 /// Result of evaluating one model on one dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EvalReport {
     /// Model name.
     pub model: String,
@@ -51,6 +51,50 @@ impl EvalReport {
     /// Accuracy series per level (for Figure 3 / Figure 6 plots).
     pub fn accuracy_by_level(&self) -> Vec<(usize, f64)> {
         self.by_level.iter().map(|l| (l.child_level, l.metrics.accuracy())).collect()
+    }
+}
+
+impl ToJson for LevelMetrics {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("child_level", self.child_level.to_json()),
+            ("metrics", self.metrics.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LevelMetrics {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(LevelMetrics {
+            child_level: json.field_as("child_level")?,
+            metrics: json.field_as("metrics")?,
+        })
+    }
+}
+
+impl ToJson for EvalReport {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("model", self.model.to_json()),
+            ("taxonomy", self.taxonomy.to_json()),
+            ("flavor", self.flavor.to_json()),
+            ("setting", self.setting.to_json()),
+            ("overall", self.overall.to_json()),
+            ("by_level", self.by_level.to_json()),
+        ])
+    }
+}
+
+impl FromJson for EvalReport {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(EvalReport {
+            model: json.field_as("model")?,
+            taxonomy: json.field_as("taxonomy")?,
+            flavor: json.field_as("flavor")?,
+            setting: json.field_as("setting")?,
+            overall: json.field_as("overall")?,
+            by_level: json.field_as("by_level")?,
+        })
     }
 }
 

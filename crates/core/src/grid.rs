@@ -58,6 +58,11 @@ impl GridRunner {
     }
 
     /// Evaluate an explicit list of cells (deduplicated order preserved).
+    ///
+    /// A panic inside one cell's evaluation does not take down the whole
+    /// grid or poison the result lock: the cell's panic is caught, every
+    /// other cell still completes, and this method then panics with a
+    /// message naming each failed `(model, dataset)` cell.
     pub fn run_cells(
         &self,
         models: &[&dyn LanguageModel],
@@ -66,29 +71,62 @@ impl GridRunner {
     ) -> Vec<EvalReport> {
         let evaluator = Evaluator::new(self.config);
         let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<EvalReport>>> = Mutex::new(vec![None; cells.len()]);
+        let results: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; cells.len()]);
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..self.threads.min(cells.len().max(1)) {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= cells.len() {
                         break;
                     }
                     let cell = cells[i];
-                    let report = evaluator.run(models[cell.model], datasets[cell.dataset]);
-                    results.lock().expect("no panics while holding the lock")[i] = Some(report);
+                    // Catch the panic *before* taking the lock so a
+                    // misbehaving cell can never poison it for the rest
+                    // of the grid.
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        evaluator.run(models[cell.model], datasets[cell.dataset])
+                    }))
+                    .map_err(|payload| panic_message(payload.as_ref()));
+                    results.lock().expect("no panics while holding the lock")[i] = Some(outcome);
                 });
             }
-        })
-        .expect("worker threads do not panic");
+        });
 
-        results
-            .into_inner()
-            .expect("scope joined all workers")
+        let outcomes = results.into_inner().expect("scope joined all workers");
+        let failures: Vec<String> = outcomes
+            .iter()
+            .zip(cells)
+            .filter_map(|(outcome, cell)| match outcome {
+                Some(Err(reason)) => Some(format!(
+                    "cell (model `{}`, dataset `{:?}`): {reason}",
+                    models[cell.model].name(),
+                    datasets[cell.dataset].taxonomy,
+                )),
+                _ => None,
+            })
+            .collect();
+        if !failures.is_empty() {
+            panic!("{} grid cell(s) panicked: {}", failures.len(), failures.join("; "));
+        }
+
+        outcomes
             .into_iter()
-            .map(|r| r.expect("every cell was processed"))
+            .map(|r| r.expect("every cell was processed").expect("failures handled above"))
             .collect()
+    }
+}
+
+type CellResult = Result<EvalReport, String>;
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
     }
 }
 
@@ -168,5 +206,36 @@ mod tests {
     fn empty_grid_is_fine() {
         let reports = GridRunner::new(EvalConfig::default(), 4).run_cells(&[], &[], &[]);
         assert!(reports.is_empty());
+    }
+
+    struct PanickingModel;
+
+    impl LanguageModel for PanickingModel {
+        fn name(&self) -> &str {
+            "panicker"
+        }
+
+        fn answer(&self, _query: &crate::model::Query<'_>) -> String {
+            panic!("synthetic cell failure")
+        }
+    }
+
+    #[test]
+    fn panicking_cell_is_reported_by_identity() {
+        let ds = datasets();
+        let dataset_refs: Vec<&Dataset> = ds.iter().collect();
+        let yes = FixedAnswerModel::always_yes();
+        let bad = PanickingModel;
+        let models: Vec<&dyn LanguageModel> = vec![&yes, &bad];
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            GridRunner::new(EvalConfig::default(), 4).run_cross(&models, &dataset_refs)
+        }));
+        let message = panic_message(result.expect_err("grid should surface the failure").as_ref());
+        assert!(message.contains("2 grid cell(s) panicked"), "{message}");
+        assert!(message.contains("model `panicker`"), "{message}");
+        assert!(message.contains("Ebay") && message.contains("GeoNames"), "{message}");
+        assert!(message.contains("synthetic cell failure"), "{message}");
+        assert!(!message.contains("always-yes"), "healthy cells must not be blamed: {message}");
     }
 }

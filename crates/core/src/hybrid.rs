@@ -20,11 +20,10 @@ use crate::parse::{parse_tf, ParsedAnswer};
 use crate::prompts::PromptSetting;
 use crate::question::{Question, QuestionBody};
 use crate::templates::{render_question, TemplateVariant};
-use serde::{Deserialize, Serialize};
 use taxoglimpse_taxonomy::{NameIndex, NodeId, Taxonomy};
 
 /// Outcome of a hybrid Is-A query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum IsA {
     /// The relation holds.
     Yes,
@@ -35,7 +34,7 @@ pub enum IsA {
 }
 
 /// Which component answered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AnsweredBy {
     /// Resolved structurally in the explicit tree.
     Tree,

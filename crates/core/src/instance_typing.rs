@@ -18,10 +18,9 @@ use crate::dataset::{Dataset, LevelSlice, QuestionDataset};
 use crate::domain::TaxonomyKind;
 use crate::question::{NegativeKind, Question, QuestionBody};
 use crate::sampling::cochran_sample_size;
-use rand::seq::SliceRandom;
 use std::fmt;
 use taxoglimpse_synth::instances::InstanceGenerator;
-use taxoglimpse_synth::rng::fork;
+use taxoglimpse_synth::rng::{fork, SliceRandom};
 use taxoglimpse_taxonomy::{NodeId, Taxonomy};
 
 /// Errors from instance-typing dataset construction.
@@ -258,8 +257,8 @@ mod tests {
                 .unwrap()
         };
         assert_eq!(
-            serde_json::to_string(&mk()).unwrap(),
-            serde_json::to_string(&mk()).unwrap()
+            taxoglimpse_json::to_string(&mk()).unwrap(),
+            taxoglimpse_json::to_string(&mk()).unwrap()
         );
     }
 }

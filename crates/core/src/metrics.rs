@@ -4,12 +4,12 @@
 //! all questions. A good model has high *A* with low *M*. Unparseable
 //! responses count as wrong answers, not misses.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
 use std::ops::AddAssign;
 
 /// Aggregated outcome counts plus the derived metrics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Metrics {
     /// Questions answered correctly.
     pub correct: usize,
@@ -92,8 +92,28 @@ impl fmt::Display for Metrics {
     }
 }
 
+impl ToJson for Metrics {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("correct", self.correct.to_json()),
+            ("missed", self.missed.to_json()),
+            ("wrong", self.wrong.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Metrics {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Metrics {
+            correct: json.field_as("correct")?,
+            missed: json.field_as("missed")?,
+            wrong: json.field_as("wrong")?,
+        })
+    }
+}
+
 /// Outcome of one question.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
     /// Parsed answer matched the gold answer.
     Correct,
@@ -102,6 +122,8 @@ pub enum Outcome {
     /// Anything else.
     Wrong,
 }
+
+taxoglimpse_json::unit_enum_json!(Outcome { Correct, Missed, Wrong });
 
 fn ratio(num: usize, den: usize) -> f64 {
     if den == 0 {

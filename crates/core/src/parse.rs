@@ -7,10 +7,10 @@
 //! matching the paper's accuracy/miss bookkeeping where only explicit
 //! abstentions are misses.
 
-use serde::{Deserialize, Serialize};
+use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
 
 /// Normalized model answer.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ParsedAnswer {
     /// Affirmative.
     Yes,
@@ -22,6 +22,34 @@ pub enum ParsedAnswer {
     Option(u8),
     /// Unintelligible response.
     Unparsed,
+}
+
+impl ToJson for ParsedAnswer {
+    fn to_json(&self) -> Json {
+        match self {
+            ParsedAnswer::Yes => Json::Str("Yes".to_owned()),
+            ParsedAnswer::No => Json::Str("No".to_owned()),
+            ParsedAnswer::IDontKnow => Json::Str("IDontKnow".to_owned()),
+            ParsedAnswer::Unparsed => Json::Str("Unparsed".to_owned()),
+            ParsedAnswer::Option(i) => Json::obj(vec![("Option", i.to_json())]),
+        }
+    }
+}
+
+impl FromJson for ParsedAnswer {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        if let Some(idx) = json.get("Option") {
+            return u8::from_json(idx).map(ParsedAnswer::Option);
+        }
+        match json.as_str() {
+            Some("Yes") => Ok(ParsedAnswer::Yes),
+            Some("No") => Ok(ParsedAnswer::No),
+            Some("IDontKnow") => Ok(ParsedAnswer::IDontKnow),
+            Some("Unparsed") => Ok(ParsedAnswer::Unparsed),
+            Some(other) => Err(JsonError::msg(format!("unknown ParsedAnswer variant `{other}`"))),
+            None => Err(JsonError::mismatch("string or Option object", json)),
+        }
+    }
 }
 
 /// Parse a True/False response.
@@ -45,13 +73,25 @@ pub fn parse_tf(response: &str) -> ParsedAnswer {
         return ParsedAnswer::IDontKnow;
     }
     // Word-boundary scan for the first decisive token. "no" must be a
-    // whole word so "know"/"north" do not trigger it.
+    // whole word so "know"/"north" do not trigger it. A directly
+    // preceding "not" negates the judgement tokens ("not true", "not
+    // correct", "not false"); the interjections "yes"/"no" themselves
+    // are never negated ("not no" is not idiomatic English).
+    let mut prev_not = false;
     for token in lower.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if token.is_empty() {
+            continue;
+        }
         match token {
-            "yes" | "yeah" | "yep" | "correct" | "true" => return ParsedAnswer::Yes,
-            "no" | "nope" | "incorrect" | "false" => return ParsedAnswer::No,
+            "yes" | "yeah" | "yep" => return ParsedAnswer::Yes,
+            "no" | "nope" => return ParsedAnswer::No,
+            "correct" | "true" if prev_not => return ParsedAnswer::No,
+            "correct" | "true" => return ParsedAnswer::Yes,
+            "incorrect" | "false" if prev_not => return ParsedAnswer::Yes,
+            "incorrect" | "false" => return ParsedAnswer::No,
             _ => {}
         }
+        prev_not = token == "not";
     }
     ParsedAnswer::Unparsed
 }
@@ -168,6 +208,23 @@ mod tests {
     fn tf_first_decisive_token_wins() {
         assert_eq!(parse_tf("Yes. No. Maybe."), ParsedAnswer::Yes);
         assert_eq!(parse_tf("No — although some say yes."), ParsedAnswer::No);
+    }
+
+    #[test]
+    fn tf_negated_judgement_flips() {
+        // Regression: these used to parse as Yes because "true"/"correct"
+        // were matched without looking at the preceding "not".
+        assert_eq!(parse_tf("That is not true."), ParsedAnswer::No);
+        assert_eq!(parse_tf("That is not correct."), ParsedAnswer::No);
+        assert_eq!(parse_tf("This statement is not   true."), ParsedAnswer::No);
+        // Double negation reads as agreement.
+        assert_eq!(parse_tf("That is not false."), ParsedAnswer::Yes);
+        assert_eq!(parse_tf("Not incorrect."), ParsedAnswer::Yes);
+        // An earlier decisive interjection still wins over a later bigram.
+        assert_eq!(parse_tf("No, that is not correct."), ParsedAnswer::No);
+        assert_eq!(parse_tf("Yes — it is not false to say so."), ParsedAnswer::Yes);
+        // "not" only negates the directly following judgement token.
+        assert_eq!(parse_tf("It is not just plausible but true."), ParsedAnswer::Yes);
     }
 
     #[test]

@@ -4,11 +4,10 @@
 
 use crate::question::{GoldAnswer, Question};
 use crate::templates::{render_question, TemplateVariant};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The three prompting settings evaluated in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PromptSetting {
     /// Ask the question directly.
     #[default]
@@ -18,6 +17,8 @@ pub enum PromptSetting {
     /// Append "Let's think step by step." (Figure 5, bottom).
     ChainOfThought,
 }
+
+taxoglimpse_json::unit_enum_json!(PromptSetting { ZeroShot, FewShot, ChainOfThought });
 
 impl PromptSetting {
     /// All three settings.

@@ -15,9 +15,7 @@
 
 use crate::domain::TaxonomyKind;
 use crate::question::{NegativeKind, Question, QuestionBody};
-use rand::seq::SliceRandom;
-use rand::Rng;
-use taxoglimpse_synth::rng::{fork, SynthRng};
+use taxoglimpse_synth::rng::{fork, Rng, SliceRandom, SynthRng};
 use taxoglimpse_taxonomy::{NodeId, Taxonomy};
 
 /// Generates questions for one taxonomy.

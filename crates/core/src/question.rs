@@ -1,10 +1,10 @@
 //! Question data model.
 
 use crate::domain::TaxonomyKind;
-use serde::{Deserialize, Serialize};
+use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
 
 /// Which negative-sampling regime produced a negative question (§2.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NegativeKind {
     /// Candidate parent drawn uniformly from the parent level minus the
     /// true parent.
@@ -15,7 +15,7 @@ pub enum NegativeKind {
 }
 
 /// Coarse question family.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QuestionKind {
     /// Yes/No/I-don't-know.
     TrueFalse,
@@ -24,7 +24,7 @@ pub enum QuestionKind {
 }
 
 /// The answerable payload of a question.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum QuestionBody {
     /// "Is `<child>` a type of `<candidate>`?"
     TrueFalse {
@@ -56,7 +56,7 @@ impl QuestionBody {
 }
 
 /// One benchmark question.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Question {
     /// Unique id within its dataset (stable across runs for a fixed
     /// seed).
@@ -106,9 +106,79 @@ impl Question {
     }
 }
 
+taxoglimpse_json::unit_enum_json!(NegativeKind { Easy, Hard });
+
+impl ToJson for QuestionBody {
+    fn to_json(&self) -> Json {
+        match self {
+            QuestionBody::TrueFalse { candidate, expected_yes, negative } => Json::obj(vec![(
+                "TrueFalse",
+                Json::obj(vec![
+                    ("candidate", candidate.to_json()),
+                    ("expected_yes", expected_yes.to_json()),
+                    ("negative", negative.to_json()),
+                ]),
+            )]),
+            QuestionBody::Mcq { options, correct } => Json::obj(vec![(
+                "Mcq",
+                Json::obj(vec![("options", options.to_json()), ("correct", correct.to_json())]),
+            )]),
+        }
+    }
+}
+
+impl FromJson for QuestionBody {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        if let Some(body) = json.get("TrueFalse") {
+            Ok(QuestionBody::TrueFalse {
+                candidate: body.field_as("candidate")?,
+                expected_yes: body.field_as("expected_yes")?,
+                negative: body.field_as("negative")?,
+            })
+        } else if let Some(body) = json.get("Mcq") {
+            Ok(QuestionBody::Mcq {
+                options: body.field_as("options")?,
+                correct: body.field_as("correct")?,
+            })
+        } else {
+            Err(JsonError::msg("expected a `TrueFalse` or `Mcq` variant object"))
+        }
+    }
+}
+
+impl ToJson for Question {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("id", self.id.to_json()),
+            ("taxonomy", self.taxonomy.to_json()),
+            ("child", self.child.to_json()),
+            ("child_level", self.child_level.to_json()),
+            ("parent_level", self.parent_level.to_json()),
+            ("true_parent", self.true_parent.to_json()),
+            ("instance_typing", self.instance_typing.to_json()),
+            ("body", self.body.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Question {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(Question {
+            id: json.field_as("id")?,
+            taxonomy: json.field_as("taxonomy")?,
+            child: json.field_as("child")?,
+            child_level: json.field_as("child_level")?,
+            parent_level: json.field_as("parent_level")?,
+            true_parent: json.field_as("true_parent")?,
+            instance_typing: json.field_as("instance_typing")?,
+            body: json.field_as("body")?,
+        })
+    }
+}
+
 /// The gold answer to a question, used for scoring and for rendering
 /// few-shot exemplars.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum GoldAnswer {
     /// TF positive.
     Yes,
@@ -175,10 +245,10 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let q = tf(false);
-        let json = serde_json::to_string(&q).unwrap();
-        let back: Question = serde_json::from_str(&json).unwrap();
+        let json = taxoglimpse_json::to_string(&q).unwrap();
+        let back: Question = taxoglimpse_json::from_str(&json).unwrap();
         assert_eq!(back, q);
     }
 }

@@ -12,6 +12,7 @@ use crate::domain::TaxonomyKind;
 use crate::eval::EvalReport;
 use crate::prompts::PromptSetting;
 use std::fmt;
+use taxoglimpse_json::JsonError;
 use std::path::{Path, PathBuf};
 
 /// Errors from the store.
@@ -24,7 +25,7 @@ pub enum StoreError {
         /// The offending file.
         path: PathBuf,
         /// The JSON error encountered.
-        error: serde_json::Error,
+        error: JsonError,
     },
 }
 
@@ -80,7 +81,7 @@ impl RunStore {
     /// cell).
     pub fn save(&self, report: &EvalReport) -> Result<PathBuf, StoreError> {
         let path = self.dir.join(Self::file_name(report));
-        let json = serde_json::to_string_pretty(report).expect("reports serialize");
+        let json = taxoglimpse_json::to_string_pretty(report).expect("reports serialize");
         std::fs::write(&path, json)?;
         Ok(path)
     }
@@ -95,7 +96,7 @@ impl RunStore {
         entries.sort();
         for path in entries {
             let data = std::fs::read_to_string(&path)?;
-            let report = serde_json::from_str(&data)
+            let report = taxoglimpse_json::from_str(&data)
                 .map_err(|error| StoreError::Corrupt { path: path.clone(), error })?;
             out.push(report);
         }

@@ -4,11 +4,10 @@
 
 use crate::domain::{Domain, TaxonomyKind};
 use crate::question::{Question, QuestionBody};
-use serde::{Deserialize, Serialize};
 
 /// Template paraphrase variant (§2.2: results are stable under slight
 /// paraphrasing; the paper reports the canonical templates).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum TemplateVariant {
     /// "a type of" / "most appropriate".
     #[default]
@@ -117,7 +116,7 @@ pub fn render_question(q: &Question, variant: TemplateVariant) -> String {
 ///     "Which division does the {child} department belong to? {options}",
 /// ).unwrap();
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CustomTemplate {
     tf: String,
     mcq: String,

@@ -20,7 +20,7 @@ use crate::profile::ModelId;
 use crate::scalability;
 use crate::simulate::SimulatedLlm;
 use crate::tokenizer::Tokenizer;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use taxoglimpse_core::model::{LanguageModel, Query};
 use taxoglimpse_synth::rng::{hash_str, mix64};
 
@@ -105,7 +105,7 @@ impl ApiClient {
 
     /// Serving statistics so far.
     pub fn stats(&self) -> ServingStats {
-        *self.stats.lock()
+        *self.stats.lock().expect("stats lock not poisoned")
     }
 
     /// Seconds one successful attempt takes for this model.
@@ -136,7 +136,7 @@ impl LanguageModel for ApiClient {
     }
 
     fn answer(&self, query: &Query<'_>) -> String {
-        let mut stats = self.stats.lock();
+        let mut stats = self.stats.lock().expect("stats lock not poisoned");
         stats.requests += 1;
         let mut answered = None;
         for attempt in 1..=self.config.max_attempts {
@@ -171,7 +171,7 @@ impl LanguageModel for ApiClient {
 
     fn reset(&self) {
         self.inner.reset();
-        *self.stats.lock() = ServingStats::default();
+        *self.stats.lock().expect("stats lock not poisoned") = ServingStats::default();
     }
 }
 

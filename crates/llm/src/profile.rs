@@ -1,11 +1,10 @@
 //! The eighteen evaluated models and their static properties.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// Model families (§3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ModelFamily {
     /// OpenAI GPTs (closed, API-only).
     Gpt,
@@ -28,7 +27,7 @@ pub enum ModelFamily {
 }
 
 /// The eighteen models, in the paper's table row order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum ModelId {
     /// GPT-3.5 (2023-05-15 API version).
     Gpt35,
@@ -183,7 +182,7 @@ impl FromStr for ModelId {
 
 /// Static behavioural profile of one model: everything the simulator
 /// needs besides the per-taxonomy calibration anchors.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ModelProfile {
     /// Which model this is.
     pub id: ModelId,

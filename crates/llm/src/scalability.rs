@@ -13,10 +13,9 @@
 //!   activates ~13B of its 46.7B parameters).
 
 use crate::profile::{ModelFamily, ModelId};
-use serde::{Deserialize, Serialize};
 
 /// Predicted serving footprint for one model.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Footprint {
     /// Which model.
     pub model: ModelId,

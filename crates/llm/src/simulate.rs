@@ -5,7 +5,7 @@ use crate::knowledge::{trigram_similarity, Decision, KnowledgeModel};
 use crate::profile::ModelId;
 use crate::respond::{render, Verdict};
 use crate::tokenizer::Tokenizer;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use taxoglimpse_core::model::{LanguageModel, Query};
 use taxoglimpse_core::question::{Question, QuestionBody};
 use taxoglimpse_synth::rng::{hash_str, mix64};
@@ -70,7 +70,7 @@ impl SimulatedLlm {
 
     /// Usage counters since the last [`LanguageModel::reset`].
     pub fn usage(&self) -> UsageStats {
-        *self.usage.lock()
+        *self.usage.lock().expect("usage lock not poisoned")
     }
 
     /// Uniform draw in [0,1) from the question's stable identity.
@@ -139,7 +139,7 @@ impl LanguageModel for SimulatedLlm {
         let verdict = self.verdict(query);
         let noise = hash_str(self.seed ^ 0xF00D, &query.prompt);
         let text = render(self.id, query.question, verdict, query.setting, noise);
-        let mut usage = self.usage.lock();
+        let mut usage = self.usage.lock().expect("usage lock not poisoned");
         usage.queries += 1;
         usage.prompt_tokens += self.tokenizer.count(&query.prompt) as u64;
         usage.completion_tokens += self.tokenizer.count(&text) as u64;
@@ -147,7 +147,7 @@ impl LanguageModel for SimulatedLlm {
     }
 
     fn reset(&self) {
-        *self.usage.lock() = UsageStats::default();
+        *self.usage.lock().expect("usage lock not poisoned") = UsageStats::default();
     }
 }
 

@@ -3,7 +3,6 @@
 //! published anchors and summarize fidelity. This is the machinery
 //! behind EXPERIMENTS.md.
 
-use serde::{Deserialize, Serialize};
 use taxoglimpse_core::dataset::QuestionDataset;
 use taxoglimpse_core::domain::TaxonomyKind;
 use taxoglimpse_core::eval::EvalReport;
@@ -11,7 +10,7 @@ use taxoglimpse_llm::calib;
 use taxoglimpse_llm::profile::ModelId;
 
 /// One (model, taxonomy) cell compared against the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellComparison {
     /// Model row.
     pub model: ModelId,
@@ -40,7 +39,7 @@ impl CellComparison {
 }
 
 /// Fidelity summary over a set of cells.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComparisonSummary {
     /// Which dataset flavor was compared.
     pub flavor: QuestionDataset,

@@ -1,10 +1,9 @@
 //! Text renderings of the paper's figures: named data series with
 //! labelled x-positions, printable as aligned text, sparklines, or CSV.
 
-use serde::{Deserialize, Serialize};
 
 /// One named data series (e.g. one model's accuracy per level).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Series {
     /// Series name (model name, family name, …).
     pub name: String,
@@ -38,7 +37,7 @@ impl Series {
 }
 
 /// A figure: a set of series over a shared x-axis.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Figure {
     /// Figure title (e.g. "Figure 3(b): Amazon, hard, zero-shot").
     pub title: String,

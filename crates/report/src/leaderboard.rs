@@ -3,12 +3,11 @@
 //! rates — the "which model should I use for taxonomy work" view for
 //! the paper's industrial audience.
 
-use serde::{Deserialize, Serialize};
 use taxoglimpse_core::eval::EvalReport;
 use taxoglimpse_core::metrics::Metrics;
 
 /// One leaderboard row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LeaderboardEntry {
     /// Model name.
     pub model: String,

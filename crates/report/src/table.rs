@@ -1,9 +1,8 @@
 //! Generic text tables.
 
-use serde::{Deserialize, Serialize};
 
 /// A rectangular table with a title, column headers and string cells.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Table {
     /// Title line printed above the table.
     pub title: String,

@@ -15,8 +15,8 @@ use crate::kind::TaxonomyKind;
 use crate::names::Namer;
 use crate::profiles::TaxonomyProfile;
 use crate::rng::fork;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::SliceRandom;
+use crate::rng::Rng;
 use taxoglimpse_taxonomy::{NodeId, Taxonomy, TaxonomyBuilder};
 
 /// Drift intensity per release.

@@ -16,8 +16,8 @@
 use crate::kind::TaxonomyKind;
 use crate::morphology::{capitalize, pools, pseudo_word, WordStyle};
 use crate::rng::{fork, SynthRng};
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::SliceRandom;
+use crate::rng::Rng;
 use taxoglimpse_taxonomy::{NodeId, Taxonomy};
 
 /// An instance attached to a leaf concept of a taxonomy.

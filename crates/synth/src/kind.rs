@@ -1,11 +1,10 @@
 //! The ten benchmark taxonomies and their eight domains.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
 
 /// The eight application domains of the paper (§2.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum Domain {
     /// Google / Amazon / eBay product categories.
     Shopping,
@@ -65,7 +64,7 @@ impl fmt::Display for Domain {
 /// The ten benchmark taxonomies, in the paper's column order
 /// (Tables 4–7): eBay, Amazon, Google, Schema, ACM-CCS, GeoNames,
 /// Glottolog, ICD-10-CM, OAE, NCBI.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum TaxonomyKind {
     /// eBay Categories.
     Ebay,
@@ -182,6 +181,14 @@ impl FromStr for TaxonomyKind {
             .ok_or_else(|| format!("unknown taxonomy {s:?}"))
     }
 }
+
+taxoglimpse_json::unit_enum_json!(TaxonomyKind {
+    Ebay, Amazon, Google, Schema, AcmCcs, GeoNames, Glottolog, Icd10Cm, Oae, Ncbi,
+});
+
+taxoglimpse_json::unit_enum_json!(Domain {
+    Shopping, General, ComputerScience, Geography, Language, Health, Medical, Biology,
+});
 
 #[cfg(test)]
 mod tests {

@@ -7,7 +7,7 @@
 //! share long substrings with their parents (`... AE`).
 
 use crate::rng::SynthRng;
-use rand::seq::SliceRandom;
+use crate::rng::SliceRandom;
 
 /// Phonotactic style for pseudo-word generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -10,8 +10,8 @@
 use crate::morphology::{camel_case, capitalize, pools, pseudo_word, title_case, WordStyle};
 use crate::profiles::NameRegime;
 use crate::rng::SynthRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::SliceRandom;
+use crate::rng::Rng;
 
 /// Stateless name factory for one regime.
 #[derive(Debug, Clone, Copy)]

@@ -12,8 +12,8 @@
 use crate::kind::TaxonomyKind;
 use crate::profiles::TaxonomyProfile;
 use crate::rng::fork;
-use rand::Rng;
-use rand::seq::SliceRandom;
+use crate::rng::Rng;
+use crate::rng::SliceRandom;
 use taxoglimpse_taxonomy::Taxonomy;
 
 /// Simulated per-concept web-hit counts.

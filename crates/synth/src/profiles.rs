@@ -4,11 +4,10 @@
 //! generator reproduces verbatim at `scale = 1.0`.
 
 use crate::kind::TaxonomyKind;
-use serde::{Deserialize, Serialize};
 
 /// How child names relate to parent names in a domain — the surface-form
 /// regime the paper's analysis repeatedly leans on (§4.2).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NameRegime {
     /// Compound product noun phrases; children sometimes reuse the
     /// parent's head noun ("Kitchen Appliances" → "Small Kitchen
@@ -34,7 +33,7 @@ pub enum NameRegime {
 }
 
 /// Structural profile of one taxonomy (one row of Table 1).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaxonomyProfile {
     /// Which taxonomy this profiles.
     pub kind: TaxonomyKind,

@@ -1,17 +1,102 @@
-//! Deterministic, forkable randomness.
+//! Deterministic, forkable randomness — self-contained.
 //!
 //! Every generator in this crate derives its random stream from a
 //! `(master seed, purpose tag, index)` triple via [`fork`], so adding a
 //! new consumer never perturbs the output of existing ones, and the same
 //! options always produce byte-identical taxonomies.
+//!
+//! The stream cipher is an in-tree ChaCha8 (RFC 8439 block function at
+//! eight rounds) keyed from the fork hash, with no external crates
+//! involved. That keeps the byte streams *stable by construction*:
+//! nothing short of editing this file — no toolchain bump, no dependency
+//! upgrade — can change the output for a given `(seed, tag, index)`.
+//! The [`Rng`] and [`SliceRandom`] traits expose the same call surface
+//! the workspace previously used (`gen`, `gen_range`, `gen_bool`,
+//! `choose`, `shuffle`), so consumers only swap their `use` lines.
 
-use rand_chacha::rand_core::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+/// The RNG used throughout the workspace. ChaCha8 is portable across
+/// platforms, statistically solid, and fast enough to name two million
+/// species in well under a second.
+#[derive(Debug, Clone)]
+pub struct SynthRng {
+    /// 256-bit key, fixed per stream.
+    key: [u32; 8],
+    /// Block counter (low word of the ChaCha counter/nonce row).
+    counter: u64,
+    /// Decoded output of the current block.
+    buf: [u64; 8],
+    /// Next unread word in `buf`; 8 means exhausted.
+    cursor: usize,
+}
 
-/// The RNG used throughout the synth crate. ChaCha8 is seedable, portable
-/// across platforms and rand versions, and fast enough to name two
-/// million species in well under a second.
-pub type SynthRng = ChaCha8Rng;
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+impl SynthRng {
+    /// Key a fresh stream from a 64-bit seed (SplitMix64 key schedule).
+    pub fn seed_from_u64(seed: u64) -> SynthRng {
+        let mut key = [0u32; 8];
+        let mut s = seed;
+        for pair in key.chunks_mut(2) {
+            s = mix64(s);
+            pair[0] = s as u32;
+            pair[1] = (s >> 32) as u32;
+        }
+        SynthRng { key, counter: 0, buf: [0; 8], cursor: 8 }
+    }
+
+    /// The next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        if self.cursor == 8 {
+            self.refill();
+        }
+        let word = self.buf[self.cursor];
+        self.cursor += 1;
+        word
+    }
+
+    fn refill(&mut self) {
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        state[4..12].copy_from_slice(&self.key);
+        state[12] = self.counter as u32;
+        state[13] = (self.counter >> 32) as u32;
+        // state[14..16]: zero nonce — streams differ by key, not nonce.
+        let mut working = state;
+        for _ in 0..4 {
+            // Column round.
+            quarter(&mut working, 0, 4, 8, 12);
+            quarter(&mut working, 1, 5, 9, 13);
+            quarter(&mut working, 2, 6, 10, 14);
+            quarter(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut working, 0, 5, 10, 15);
+            quarter(&mut working, 1, 6, 11, 12);
+            quarter(&mut working, 2, 7, 8, 13);
+            quarter(&mut working, 3, 4, 9, 14);
+        }
+        for (w, s) in working.iter_mut().zip(state.iter()) {
+            *w = w.wrapping_add(*s);
+        }
+        for (i, out) in self.buf.iter_mut().enumerate() {
+            *out = u64::from(working[2 * i]) | (u64::from(working[2 * i + 1]) << 32);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.cursor = 0;
+    }
+}
+
+#[inline]
+fn quarter(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
 
 /// Mix a 64-bit value (SplitMix64 finalizer). Good avalanche, cheap.
 #[inline]
@@ -46,10 +131,179 @@ pub fn hash_str(seed: u64, s: &str) -> u64 {
     h
 }
 
+/// The sampling surface generators program against. Implemented by
+/// [`SynthRng`]; mirrors the subset of `rand::Rng` the workspace uses.
+pub trait Rng {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of a [`Standard`]-distributed type
+    /// (`rng.gen::<u64>()`, `rng.gen::<f64>()` in `[0,1)`, …).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a half-open range.
+    #[inline]
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool probability {p} out of range");
+        f64_from_bits(self.next_u64()) < p
+    }
+
+    /// Uniform index in `[0, n)`; `n` must be nonzero.
+    #[inline]
+    fn gen_index(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "gen_index on empty range");
+        // Lemire multiply-shift; bias is n/2^64, immaterial here.
+        ((u128::from(self.next_u64()) * n as u128) >> 64) as usize
+    }
+}
+
+impl Rng for SynthRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        SynthRng::next_u64(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Uniform f64 in `[0, 1)` from the top 53 bits of a word.
+#[inline]
+fn f64_from_bits(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Types samplable uniformly over their "standard" domain (the full
+/// integer range; `[0,1)` for floats).
+pub trait Standard {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        f64_from_bits(rng.next_u64())
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Half-open ranges [`Rng::gen_range`] accepts.
+pub trait SampleRange {
+    /// The sampled value's type.
+    type Output;
+    /// Draw uniformly from the range.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> f64 {
+        debug_assert!(self.start < self.end, "empty range");
+        self.start + f64_from_bits(rng.next_u64()) * (self.end - self.start)
+    }
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u8, u16, u32, u64);
+
+impl SampleRange for std::ops::Range<usize> {
+    type Output = usize;
+    #[inline]
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.gen_index(self.end - self.start)
+    }
+}
+
+/// Random slice operations (`choose`, `shuffle`), mirroring the
+/// `rand::seq::SliceRandom` subset the workspace uses.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// A uniformly random element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Uniform (Fisher–Yates) in-place shuffle.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    #[inline]
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[rng.gen_index(self.len())])
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            self.swap(i, rng.gen_index(i + 1));
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::Rng;
 
     #[test]
     fn fork_is_deterministic() {
@@ -86,5 +340,84 @@ mod tests {
         let flipped = mix64(0x1234_5679);
         let diff = (base ^ flipped).count_ones();
         assert!((16..=48).contains(&diff), "poor avalanche: {diff} bits");
+    }
+
+    #[test]
+    fn chacha8_matches_reference_vector() {
+        // ChaCha8 block 0 with an all-zero key and nonce; first 64 bytes
+        // of keystream as little-endian u64 words. Pins the stream so an
+        // accidental edit to the core cannot slip through unnoticed.
+        let mut rng = SynthRng { key: [0; 8], counter: 0, buf: [0; 8], cursor: 8 };
+        let expected: [u64; 8] = [
+            0xd640_5f89_2fef_003e,
+            0xa1a5_091f_e8b8_5b7f,
+            0x3b7f_9ace_c30e_842c,
+            0x1e1a_71ef_88e1_1b18,
+            0x416f_21b9_72e1_4c98,
+            0x1956_6d45_6753_449f,
+            0x01b0_86da_a342_4a31,
+            0x42fe_0c0e_b8fd_7b38,
+        ];
+        for word in expected {
+            assert_eq!(rng.next_u64(), word);
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = fork(7, "unit", 0);
+        for _ in 0..10_000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = fork(9, "range", 0);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(1e-9..1.0);
+            assert!((1e-9..1.0).contains(&x), "{x}");
+            let n = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&n), "{n}");
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = fork(11, "bool", 0);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((28_000..32_000).contains(&hits), "{hits}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_and_shuffle_are_uniform_enough() {
+        let mut rng = fork(13, "slice", 0);
+        let pool = [0usize, 1, 2, 3, 4];
+        let mut counts = [0usize; 5];
+        for _ in 0..50_000 {
+            counts[*pool.choose(&mut rng).unwrap()] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+        // Shuffle is a permutation and moves things around.
+        let mut v: Vec<usize> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+        assert!(<[usize]>::choose(&[], &mut rng).is_none());
+    }
+
+    #[test]
+    fn empty_shuffle_and_singleton_choose() {
+        let mut rng = fork(17, "edge", 0);
+        let mut empty: Vec<u8> = vec![];
+        empty.shuffle(&mut rng);
+        assert_eq!(["only"].choose(&mut rng), Some(&"only"));
     }
 }

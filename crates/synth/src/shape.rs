@@ -13,8 +13,8 @@
 //!   ones), like real taxonomies.
 
 use crate::rng::SynthRng;
-use rand::seq::SliceRandom;
-use rand::Rng;
+use crate::rng::SliceRandom;
+use crate::rng::Rng;
 
 /// Compute a child count per parent (length = `parents`), summing to
 /// `children`. Deterministic given the RNG state.

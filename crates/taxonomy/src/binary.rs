@@ -19,7 +19,6 @@
 
 use crate::arena::Taxonomy;
 use crate::builder::{BuildError, TaxonomyBuilder};
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 const MAGIC: &[u8; 4] = b"TAXG";
@@ -57,46 +56,47 @@ impl std::error::Error for BinaryError {}
 
 impl Taxonomy {
     /// Encode into the TAXG binary format.
-    pub fn to_binary(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(
             4 + 2 + 4 + self.label().len() + 8 + self.len() * 9 + self.name_bytes(),
         );
-        buf.put_slice(MAGIC);
-        buf.put_u16_le(VERSION);
-        buf.put_u32_le(self.label().len() as u32);
-        buf.put_slice(self.label().as_bytes());
-        buf.put_u64_le(self.len() as u64);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&VERSION.to_le_bytes());
+        buf.extend_from_slice(&(self.label().len() as u32).to_le_bytes());
+        buf.extend_from_slice(self.label().as_bytes());
+        buf.extend_from_slice(&(self.len() as u64).to_le_bytes());
         for id in self.ids() {
-            buf.put_u32_le(self.parent(id).map_or(ROOT_SENTINEL, |p| p.raw()));
+            let raw = self.parent(id).map_or(ROOT_SENTINEL, |p| p.raw());
+            buf.extend_from_slice(&raw.to_le_bytes());
         }
         for id in self.ids() {
             let name = self.name(id);
-            buf.put_u32_le(name.len() as u32);
-            buf.put_slice(name.as_bytes());
+            buf.extend_from_slice(&(name.len() as u32).to_le_bytes());
+            buf.extend_from_slice(name.as_bytes());
         }
-        buf.freeze()
+        buf
     }
 
     /// Decode from the TAXG binary format (with full structural
     /// validation).
     pub fn from_binary(bytes: &[u8]) -> Result<Self, BinaryError> {
         let mut buf = bytes;
-        if buf.remaining() < 4 || &buf[..4] != MAGIC {
+        if buf.len() < 4 || &buf[..4] != MAGIC {
             return Err(BinaryError::BadMagic);
         }
-        buf.advance(4);
+        buf = &buf[4..];
         let version = get_u16(&mut buf)?;
         if version != VERSION {
             return Err(BinaryError::BadVersion(version));
         }
         let label = get_string(&mut buf)?;
         let n = get_u64(&mut buf)? as usize;
-        if buf.remaining() < n.checked_mul(4).ok_or(BinaryError::Truncated)? {
+        if buf.len() < n.checked_mul(4).ok_or(BinaryError::Truncated)? {
             return Err(BinaryError::Truncated);
         }
         let mut parents = Vec::with_capacity(n);
         for _ in 0..n {
-            let raw = buf.get_u32_le();
+            let raw = get_u32(&mut buf)?;
             parents.push((raw != ROOT_SENTINEL).then_some(raw as usize));
         }
         let mut names = Vec::with_capacity(n);
@@ -107,31 +107,32 @@ impl Taxonomy {
     }
 }
 
-fn get_u16(buf: &mut &[u8]) -> Result<u16, BinaryError> {
-    if buf.remaining() < 2 {
+/// Split `n` bytes off the front of the cursor, or fail as truncated.
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], BinaryError> {
+    if buf.len() < n {
         return Err(BinaryError::Truncated);
     }
-    Ok(buf.get_u16_le())
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+fn get_u16(buf: &mut &[u8]) -> Result<u16, BinaryError> {
+    take(buf, 2).map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+}
+
+fn get_u32(buf: &mut &[u8]) -> Result<u32, BinaryError> {
+    take(buf, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
 }
 
 fn get_u64(buf: &mut &[u8]) -> Result<u64, BinaryError> {
-    if buf.remaining() < 8 {
-        return Err(BinaryError::Truncated);
-    }
-    Ok(buf.get_u64_le())
+    take(buf, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
 }
 
 fn get_string(buf: &mut &[u8]) -> Result<String, BinaryError> {
-    if buf.remaining() < 4 {
-        return Err(BinaryError::Truncated);
-    }
-    let len = buf.get_u32_le() as usize;
-    if buf.remaining() < len {
-        return Err(BinaryError::Truncated);
-    }
-    let s = std::str::from_utf8(&buf[..len]).map_err(|_| BinaryError::BadUtf8)?.to_owned();
-    buf.advance(len);
-    Ok(s)
+    let len = get_u32(buf)? as usize;
+    let bytes = take(buf, len)?;
+    std::str::from_utf8(bytes).map(str::to_owned).map_err(|_| BinaryError::BadUtf8)
 }
 
 #[cfg(test)]

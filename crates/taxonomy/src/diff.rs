@@ -8,11 +8,10 @@
 
 use crate::arena::Taxonomy;
 use crate::node::NodeId;
-use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
 
 /// The difference between two taxonomy releases.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct TaxonomyDiff {
     /// Full paths present only in the new release.
     pub added: Vec<String>,

@@ -1,4 +1,5 @@
-//! Serialization: JSON (via serde) and a line-oriented TSV format.
+//! Serialization: JSON (via the in-tree `taxoglimpse-json` crate) and a
+//! line-oriented TSV format.
 //!
 //! The TSV format is one node per line, level order:
 //! `id \t parent_id_or_dash \t name`. It round-trips any taxonomy and is
@@ -6,11 +7,11 @@
 
 use crate::arena::Taxonomy;
 use crate::builder::{BuildError, TaxonomyBuilder};
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
 
-/// Serde-friendly flat representation of a taxonomy.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Eq)]
+/// Flat, serialization-friendly representation of a taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FlatTaxonomy {
     /// Taxonomy label.
     pub label: String,
@@ -18,6 +19,26 @@ pub struct FlatTaxonomy {
     pub names: Vec<String>,
     /// Parent index per node (`None` for roots).
     pub parents: Vec<Option<usize>>,
+}
+
+impl ToJson for FlatTaxonomy {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json()),
+            ("names", self.names.to_json()),
+            ("parents", self.parents.to_json()),
+        ])
+    }
+}
+
+impl FromJson for FlatTaxonomy {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(FlatTaxonomy {
+            label: json.field_as("label")?,
+            names: json.field_as("names")?,
+            parents: json.field_as("parents")?,
+        })
+    }
 }
 
 /// Errors from parsing the TSV format.
@@ -56,7 +77,7 @@ impl fmt::Display for TsvError {
 impl std::error::Error for TsvError {}
 
 impl Taxonomy {
-    /// Convert to the flat serde representation.
+    /// Convert to the flat serialization representation.
     pub fn to_flat(&self) -> FlatTaxonomy {
         FlatTaxonomy {
             label: self.label().to_owned(),
@@ -72,12 +93,12 @@ impl Taxonomy {
 
     /// Serialize as JSON.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(&self.to_flat()).expect("flat taxonomy always serializes")
+        self.to_flat().to_json().render()
     }
 
     /// Deserialize from JSON produced by [`Taxonomy::to_json`].
     pub fn from_json(json: &str) -> Result<Self, Box<dyn std::error::Error>> {
-        let flat: FlatTaxonomy = serde_json::from_str(json)?;
+        let flat: FlatTaxonomy = taxoglimpse_json::from_str(json)?;
         Ok(Self::from_flat(&flat)?)
     }
 

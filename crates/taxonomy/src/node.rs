@@ -1,7 +1,7 @@
 //! Node identifiers.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
 
 /// Index of a node inside a [`crate::Taxonomy`] arena.
 ///
@@ -9,9 +9,21 @@ use std::fmt;
 /// Using an id from one taxonomy against another is a logic error; the
 /// accessors will panic on out-of-range ids rather than silently return
 /// wrong data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub(crate) u32);
+
+impl ToJson for NodeId {
+    /// Transparent: a `NodeId` serializes as its bare raw index.
+    fn to_json(&self) -> Json {
+        Json::U64(u64::from(self.0))
+    }
+}
+
+impl FromJson for NodeId {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        u32::from_json(json).map(NodeId)
+    }
+}
 
 impl NodeId {
     /// Construct a `NodeId` from a raw index.
@@ -64,11 +76,11 @@ mod tests {
     }
 
     #[test]
-    fn serde_is_transparent() {
+    fn json_is_transparent() {
         let id = NodeId::from_raw(9);
-        let json = serde_json::to_string(&id).unwrap();
+        let json = taxoglimpse_json::to_string(&id).unwrap();
         assert_eq!(json, "9");
-        let back: NodeId = serde_json::from_str(&json).unwrap();
+        let back: NodeId = taxoglimpse_json::from_str(&json).unwrap();
         assert_eq!(back, id);
     }
 }

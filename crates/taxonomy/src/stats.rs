@@ -1,13 +1,13 @@
 //! Whole-forest statistics — the columns of the paper's Table 1.
 
 use crate::arena::Taxonomy;
-use serde::{Deserialize, Serialize};
 use std::fmt;
+use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
 
 /// Summary statistics for a taxonomy, mirroring Table 1 of the paper:
 /// number of entities, number of levels, number of trees, and the number
 /// of nodes in each level.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TaxonomyStats {
     /// Taxonomy label.
     pub label: String,
@@ -87,6 +87,36 @@ impl fmt::Display for TaxonomyStats {
     }
 }
 
+impl ToJson for TaxonomyStats {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", self.label.to_json()),
+            ("num_entities", self.num_entities.to_json()),
+            ("num_levels", self.num_levels.to_json()),
+            ("num_trees", self.num_trees.to_json()),
+            ("nodes_per_level", self.nodes_per_level.to_json()),
+            ("num_leaves", self.num_leaves.to_json()),
+            ("max_children", self.max_children.to_json()),
+            ("mean_children_of_internal", self.mean_children_of_internal.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TaxonomyStats {
+    fn from_json(json: &Json) -> Result<Self, JsonError> {
+        Ok(TaxonomyStats {
+            label: json.field_as("label")?,
+            num_entities: json.field_as("num_entities")?,
+            num_levels: json.field_as("num_levels")?,
+            num_trees: json.field_as("num_trees")?,
+            nodes_per_level: json.field_as("nodes_per_level")?,
+            num_leaves: json.field_as("num_leaves")?,
+            max_children: json.field_as("max_children")?,
+            mean_children_of_internal: json.field_as("mean_children_of_internal")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,13 +164,13 @@ mod tests {
     }
 
     #[test]
-    fn serde_round_trip() {
+    fn json_round_trip() {
         let mut b = TaxonomyBuilder::new("t");
         let r = b.add_root("r");
         b.add_child(r, "a");
         let s = TaxonomyStats::compute(&b.build().unwrap());
-        let json = serde_json::to_string(&s).unwrap();
-        let back: TaxonomyStats = serde_json::from_str(&json).unwrap();
+        let json = taxoglimpse_json::to_string(&s).unwrap();
+        let back: TaxonomyStats = taxoglimpse_json::from_str(&json).unwrap();
         assert_eq!(back, s);
     }
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Tier-1 verification under hermetic conditions.
+#
+# Proves the workspace needs nothing from crates.io: tier-1 (build +
+# tests) runs --offline against an EMPTY cargo home, and every manifest
+# is grepped for registry (non-path) dependencies.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# 1. No registry dependencies in any manifest. Path/workspace deps use
+#    inline tables ({ path = ... } / { workspace = true }); a registry
+#    dep is a bare version string: `name = "1.2"`.
+echo "==> checking manifests for registry dependencies"
+bad=0
+for manifest in Cargo.toml crates/*/Cargo.toml; do
+    if awk '
+        /^\[/ { in_deps = ($0 ~ /dependencies\]$/) }
+        in_deps && /^[A-Za-z0-9_-]+[[:space:]]*=[[:space:]]*"/ { print FILENAME ": " $0; found = 1 }
+        END { exit found }
+    ' "$manifest"; then
+        :
+    else
+        bad=1
+    fi
+done
+if [ "$bad" -ne 0 ]; then
+    echo "error: registry (non-path) dependency found above" >&2
+    exit 1
+fi
+
+# 2. Tier-1 offline against an empty registry cache. A fresh CARGO_HOME
+#    has no .crate files, no index — if anything tried to resolve from
+#    crates.io this fails immediately.
+echo "==> running tier-1 offline with an empty CARGO_HOME"
+EMPTY_CARGO_HOME="$(mktemp -d)"
+trap 'rm -rf "$EMPTY_CARGO_HOME"' EXIT
+export CARGO_HOME="$EMPTY_CARGO_HOME"
+
+cargo build --release --offline
+cargo test -q --offline
+
+echo "==> verify OK: hermetic tier-1 passed"

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub use taxoglimpse_core as core;
+pub use taxoglimpse_json as json;
 pub use taxoglimpse_llm as llm;
 pub use taxoglimpse_report as report;
 pub use taxoglimpse_synth as synth;

@@ -189,7 +189,7 @@ fn cmd_dataset(flags: &Flags) -> Result<String, String> {
         .sample_cap(flags.cap)
         .build(flags.flavor)
         .map_err(|e| e.to_string())?;
-    let json = serde_json::to_string_pretty(&dataset).map_err(|e| e.to_string())?;
+    let json = taxoglimpse_json::to_string_pretty(&dataset).map_err(|e| e.to_string())?;
     emit(flags, json.as_bytes(), "dataset (json)")
 }
 

@@ -20,7 +20,7 @@ fn datasets_are_identical_across_processes_shapes() {
     // Serialize the dataset to JSON; identical seed ⇒ identical bytes.
     let t = generate(TaxonomyKind::Oae, GenOptions { seed: 8, scale: 0.1 }).unwrap();
     let mk = || {
-        serde_json::to_string(
+        taxoglimpse::json::to_string(
             &DatasetBuilder::new(&t, TaxonomyKind::Oae, 8)
                 .build(QuestionDataset::Mcq)
                 .unwrap(),
@@ -59,8 +59,8 @@ fn reports_identical_for_identical_seeds_distinct_for_different() {
     let r1 = evaluator.run(ModelZoo::with_seed(9).get(ModelId::Gpt35).unwrap().as_ref(), &d);
     let r2 = evaluator.run(ModelZoo::with_seed(9).get(ModelId::Gpt35).unwrap().as_ref(), &d);
     let r3 = evaluator.run(ModelZoo::with_seed(10).get(ModelId::Gpt35).unwrap().as_ref(), &d);
-    assert_eq!(serde_json::to_string(&r1).unwrap(), serde_json::to_string(&r2).unwrap());
-    assert_ne!(serde_json::to_string(&r1).unwrap(), serde_json::to_string(&r3).unwrap());
+    assert_eq!(taxoglimpse::json::to_string(&r1).unwrap(), taxoglimpse::json::to_string(&r2).unwrap());
+    assert_ne!(taxoglimpse::json::to_string(&r1).unwrap(), taxoglimpse::json::to_string(&r3).unwrap());
 }
 
 #[test]
@@ -82,7 +82,7 @@ fn instance_typing_and_casestudy_are_deterministic() {
     use taxoglimpse::core::instance_typing::InstanceTypingBuilder;
     let t = generate(TaxonomyKind::Amazon, GenOptions { seed: 4, scale: 0.05 }).unwrap();
     let mk_it = || {
-        serde_json::to_string(
+        taxoglimpse::json::to_string(
             &InstanceTypingBuilder::new(&t, TaxonomyKind::Amazon, 4)
                 .unwrap()
                 .sample_cap(Some(25))

@@ -113,8 +113,8 @@ fn reports_serialize_for_downstream_tools() {
     let (_t, d) = dataset(TaxonomyKind::Schema, 0.5, QuestionDataset::Mcq, 40);
     let zoo = ModelZoo::default_zoo();
     let report = Evaluator::new(EvalConfig::default()).run(zoo.get(ModelId::Mixtral8x7b).unwrap().as_ref(), &d);
-    let json = serde_json::to_string(&report).expect("reports are serializable");
-    let back: taxoglimpse::core::eval::EvalReport = serde_json::from_str(&json).expect("round trip");
+    let json = taxoglimpse::json::to_string(&report).expect("reports are serializable");
+    let back: taxoglimpse::core::eval::EvalReport = taxoglimpse::json::from_str(&json).expect("round trip");
     assert_eq!(back.overall, report.overall);
     assert_eq!(back.model, "Mixtral");
 }
