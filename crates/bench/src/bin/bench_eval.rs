@@ -1,0 +1,278 @@
+//! `bench_eval` — the machine-readable end-to-end throughput baseline.
+//!
+//! Runs the full grid pipeline (datasets × models × prompt settings)
+//! through [`GridRunner`] exactly as `tables567` does, measures
+//! queries/second per prompt setting, and writes `BENCH_eval.json` so
+//! every perf PR records before/after numbers on the same machine and
+//! future PRs have a trajectory to defend.
+//!
+//! ```text
+//! cargo run --release -p taxoglimpse-bench --bin bench_eval -- \
+//!     [--scale S] [--cap N] [--seed N] [--models CSV] [--repeat R] \
+//!     [--threads T] [--chunk C] [--label L] [--baseline FILE] [--out FILE]
+//! cargo run --release -p taxoglimpse-bench --bin bench_eval -- --check FILE
+//! ```
+//!
+//! Besides timings, each setting records a `reports_digest`: a stable
+//! 64-bit hash over the JSON of every [`EvalReport`] the grid produced.
+//! A perf change is only admissible if the digest matches the baseline's
+//! — identical digests prove the optimised pipeline returned
+//! byte-identical results, which is this repo's core invariant.
+//!
+//! `TAXOGLIMPSE_BENCH_QUICK=1` shrinks the workload to smoke-test size
+//! (CI uses this to catch bit-rot without paying for a real measurement).
+
+use std::time::Instant;
+use taxoglimpse_bench::TaxonomyCache;
+use taxoglimpse_core::dataset::{Dataset, DatasetBuilder, QuestionDataset};
+use taxoglimpse_core::domain::TaxonomyKind;
+use taxoglimpse_core::eval::EvalConfig;
+use taxoglimpse_core::grid::GridRunner;
+use taxoglimpse_core::model::LanguageModel;
+use taxoglimpse_core::prompts::PromptSetting;
+use taxoglimpse_json::{from_str_value, Json, ToJson};
+use taxoglimpse_llm::profile::ModelId;
+use taxoglimpse_llm::zoo::ModelZoo;
+use taxoglimpse_synth::rng::{hash_str, mix64};
+
+/// Current schema version of `BENCH_eval.json` (see README.md).
+const SCHEMA_VERSION: u64 = 1;
+
+/// Default model subset: one per major family tier, so the workload
+/// exercises terse, chatty, and abstention-prone response paths.
+const DEFAULT_MODELS: [ModelId; 4] =
+    [ModelId::Gpt4, ModelId::Gpt35, ModelId::Llama2_7b, ModelId::FlanT5_3b];
+
+#[derive(Debug)]
+struct BenchOptions {
+    scale: f64,
+    cap: Option<usize>,
+    seed: u64,
+    models: Vec<ModelId>,
+    repeat: usize,
+    threads: usize,
+    chunk: usize,
+    label: String,
+    baseline: Option<String>,
+    out: String,
+    check: Option<String>,
+}
+
+impl BenchOptions {
+    fn parse(args: impl Iterator<Item = String>) -> Result<Self, String> {
+        let quick = std::env::var("TAXOGLIMPSE_BENCH_QUICK").map(|v| v != "0").unwrap_or(false);
+        let mut o = BenchOptions {
+            scale: if quick { 0.05 } else { 0.1 },
+            cap: Some(if quick { 20 } else { 250 }),
+            seed: 42,
+            models: DEFAULT_MODELS.to_vec(),
+            repeat: if quick { 1 } else { 5 },
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            chunk: 256,
+            label: "current".to_owned(),
+            baseline: None,
+            out: "BENCH_eval.json".to_owned(),
+            check: None,
+        };
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            let mut value = |flag: &str| {
+                args.next().ok_or_else(|| format!("{flag} needs a value"))
+            };
+            match arg.as_str() {
+                "--scale" => o.scale = value("--scale")?.parse().map_err(|e| format!("--scale: {e}"))?,
+                "--cap" => o.cap = Some(value("--cap")?.parse().map_err(|e| format!("--cap: {e}"))?),
+                "--seed" => o.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+                "--repeat" => o.repeat = value("--repeat")?.parse().map_err(|e| format!("--repeat: {e}"))?,
+                "--threads" => o.threads = value("--threads")?.parse().map_err(|e| format!("--threads: {e}"))?,
+                "--chunk" => o.chunk = value("--chunk")?.parse().map_err(|e| format!("--chunk: {e}"))?,
+                "--label" => o.label = value("--label")?,
+                "--baseline" => o.baseline = Some(value("--baseline")?),
+                "--out" => o.out = value("--out")?,
+                "--check" => o.check = Some(value("--check")?),
+                "--models" => {
+                    let csv = value("--models")?;
+                    let mut models = Vec::new();
+                    for name in csv.split(',') {
+                        models.push(name.trim().parse::<ModelId>()?);
+                    }
+                    o.models = models;
+                }
+                other => return Err(format!("unknown argument {other:?}")),
+            }
+        }
+        Ok(o)
+    }
+}
+
+fn main() {
+    let opts = match BenchOptions::parse(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+
+    if let Some(path) = &opts.check {
+        match check_file(path) {
+            Ok(summary) => println!("{summary}"),
+            Err(msg) => {
+                eprintln!("error: {path}: {msg}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let doc = run_bench(&opts);
+    let rendered = doc.render_pretty();
+    std::fs::write(&opts.out, format!("{rendered}\n")).unwrap_or_else(|e| {
+        eprintln!("error: {}: {e}", opts.out);
+        std::process::exit(1);
+    });
+    println!("wrote {}", opts.out);
+}
+
+/// Run the measured workload and build the `BENCH_eval.json` document.
+fn run_bench(opts: &BenchOptions) -> Json {
+    let cache = TaxonomyCache::new();
+    let zoo = ModelZoo::default_zoo();
+
+    eprintln!("generating {} taxonomies at scale {} ...", TaxonomyKind::ALL.len(), opts.scale);
+    let datasets: Vec<Dataset> = TaxonomyKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let taxonomy = cache.get(kind, opts.seed, opts.scale);
+            DatasetBuilder::new(&taxonomy, kind, opts.seed)
+                .sample_cap(opts.cap)
+                .build(QuestionDataset::Hard)
+                .expect("benchmark taxonomies have probe levels")
+        })
+        .collect();
+    let dataset_refs: Vec<&Dataset> = datasets.iter().collect();
+    let questions: usize = datasets.iter().map(Dataset::len).sum();
+    let queries = questions * opts.models.len();
+
+    let model_arcs: Vec<_> =
+        opts.models.iter().map(|&id| zoo.get(id).expect("zoo covers all ids")).collect();
+    let model_refs: Vec<&dyn LanguageModel> =
+        model_arcs.iter().map(|m| m.as_ref() as &dyn LanguageModel).collect();
+
+    let mut results = Vec::new();
+    for setting in PromptSetting::ALL {
+        let runner = GridRunner::new(EvalConfig { setting, ..Default::default() }, opts.threads)
+            .with_chunk_size(opts.chunk);
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        let mut digest = 0xBA5E_11AEu64;
+        for rep in 0..opts.repeat.max(1) {
+            let start = Instant::now();
+            let reports = runner.run_cross(&model_refs, &dataset_refs);
+            let elapsed = start.elapsed().as_secs_f64();
+            total += elapsed;
+            best = best.min(elapsed);
+            if rep == 0 {
+                for report in &reports {
+                    let json = taxoglimpse_json::to_string(report).expect("reports serialize");
+                    digest = mix64(digest ^ hash_str(0x5EED, &json));
+                }
+            }
+        }
+        let repeats = opts.repeat.max(1) as f64;
+        let qps = queries as f64 / best;
+        eprintln!(
+            "{setting}: {queries} queries, best {:.1} ms, {:.0} q/s, digest {digest:016x}",
+            best * 1e3,
+            qps
+        );
+        results.push(Json::obj(vec![
+            ("setting", setting.to_string().to_json()),
+            ("queries", (queries as u64).to_json()),
+            ("best_elapsed_ms", (best * 1e3).to_json()),
+            ("mean_elapsed_ms", (total / repeats * 1e3).to_json()),
+            ("queries_per_sec", qps.to_json()),
+            ("reports_digest", format!("{digest:016x}").to_json()),
+        ]));
+    }
+
+    let workload = Json::obj(vec![
+        ("models", Json::Arr(opts.models.iter().map(|m| m.to_string().to_json()).collect())),
+        (
+            "taxonomies",
+            Json::Arr(TaxonomyKind::ALL.iter().map(|k| k.label().to_json()).collect()),
+        ),
+        ("flavor", "hard".to_json()),
+        ("scale", opts.scale.to_json()),
+        ("cap", opts.cap.map(|c| (c as u64).to_json()).unwrap_or(Json::Null)),
+        ("seed", opts.seed.to_json()),
+        ("questions", (questions as u64).to_json()),
+        ("queries_per_setting", (queries as u64).to_json()),
+        ("threads", (opts.threads as u64).to_json()),
+        ("chunk_size", (opts.chunk as u64).to_json()),
+        ("repeats", (opts.repeat as u64).to_json()),
+    ]);
+
+    let baseline = match &opts.baseline {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: --baseline {path}: {e}");
+                std::process::exit(1);
+            });
+            let mut doc = from_str_value(&text).unwrap_or_else(|e| {
+                eprintln!("error: --baseline {path}: {e}");
+                std::process::exit(1);
+            });
+            // A baseline of a baseline would nest without bound; embed
+            // only the measurement itself.
+            if let Json::Obj(fields) = &mut doc {
+                fields.retain(|(k, _)| k != "baseline");
+            }
+            doc
+        }
+        None => Json::Null,
+    };
+
+    Json::obj(vec![
+        ("schema_version", SCHEMA_VERSION.to_json()),
+        ("label", opts.label.to_json()),
+        ("workload", workload),
+        ("results", Json::Arr(results)),
+        ("baseline", baseline),
+    ])
+}
+
+/// `--check FILE`: parse with the in-tree JSON crate and validate shape.
+fn check_file(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let doc = from_str_value(&text).map_err(|e| e.to_string())?;
+    let version = doc
+        .get("schema_version")
+        .and_then(Json::as_u64)
+        .ok_or("missing schema_version")?;
+    if version != SCHEMA_VERSION {
+        return Err(format!("schema_version {version} (expected {SCHEMA_VERSION})"));
+    }
+    doc.get("label").and_then(Json::as_str).ok_or("missing label")?;
+    doc.get("workload").and_then(Json::as_obj).ok_or("missing workload object")?;
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("missing results array")?;
+    if results.is_empty() {
+        return Err("empty results array".to_owned());
+    }
+    for entry in results {
+        for key in ["setting", "queries", "best_elapsed_ms", "queries_per_sec", "reports_digest"] {
+            if entry.get(key).is_none() {
+                return Err(format!("result entry missing {key:?}"));
+            }
+        }
+        entry
+            .get("queries_per_sec")
+            .and_then(Json::as_f64)
+            .filter(|q| *q > 0.0)
+            .ok_or("queries_per_sec must be a positive number")?;
+    }
+    Ok(format!("{path}: OK ({} settings, schema v{version})", results.len()))
+}

@@ -51,7 +51,7 @@ fn main() {
                 let exemplars = &slice.exemplars[..shots.min(slice.exemplars.len())];
                 for question in &slice.questions {
                     let prompt = render_prompt_n(question, setting, TemplateVariant::Canonical, exemplars, shots);
-                    let query = Query { prompt, question, setting };
+                    let query = Query { prompt: &prompt, question, setting };
                     let response = model.answer(&query);
                     let parsed = match question.kind() {
                         QuestionKind::TrueFalse => parse_tf(&response),

@@ -165,7 +165,7 @@ impl<'t> CaseStudy<'t> {
 
     fn ask(&self, model: &dyn LanguageModel, question: &Question) -> ParsedAnswer {
         let prompt = render_question(question, TemplateVariant::Canonical);
-        let query = Query { prompt, question, setting: PromptSetting::ZeroShot };
+        let query = Query { prompt: &prompt, question, setting: PromptSetting::ZeroShot };
         parse_tf(&model.answer(&query))
     }
 

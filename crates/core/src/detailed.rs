@@ -90,7 +90,7 @@ impl DetailedRun {
         for slice in &dataset.levels {
             for question in &slice.questions {
                 let prompt = render_prompt(question, config.setting, config.variant, &slice.exemplars);
-                let query = Query { prompt: prompt.clone(), question, setting: config.setting };
+                let query = Query { prompt: &prompt, question, setting: config.setting };
                 let response = model.answer(&query);
                 let parsed = match question.kind() {
                     QuestionKind::TrueFalse => parse_tf(&response),

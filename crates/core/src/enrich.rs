@@ -109,7 +109,7 @@ impl<'t> Enricher<'t> {
             },
         };
         let prompt = render_question(&question, TemplateVariant::Canonical);
-        let query = Query { prompt, question: &question, setting: PromptSetting::ZeroShot };
+        let query = Query { prompt: &prompt, question: &question, setting: PromptSetting::ZeroShot };
         parse_tf(&model.answer(&query))
     }
 }

@@ -7,7 +7,7 @@ use crate::domain::TaxonomyKind;
 use crate::metrics::{Metrics, Outcome};
 use crate::model::{LanguageModel, Query};
 use crate::parse::{parse_mcq, parse_tf, ParsedAnswer};
-use crate::prompts::{render_prompt, PromptSetting};
+use crate::prompts::{render_prefix, render_prompt, render_prompt_into, PromptSetting};
 use crate::question::{Question, QuestionBody, QuestionKind};
 use crate::templates::TemplateVariant;
 use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
@@ -123,8 +123,13 @@ pub fn score(question: &Question, parsed: ParsedAnswer) -> Outcome {
                 Outcome::Wrong
             }
         }
-        // Unparseable or mismatched answer shapes are wrong answers.
-        _ => Outcome::Wrong,
+        // Unparseable answers and answer-shape mismatches are wrong
+        // answers. Spelled out arm by arm (no `_` wildcard) so adding a
+        // `ParsedAnswer` variant is a compile error here, not a silent
+        // Wrong.
+        (_, ParsedAnswer::Unparsed) => Outcome::Wrong,
+        (QuestionBody::TrueFalse { .. }, ParsedAnswer::Option(_)) => Outcome::Wrong,
+        (QuestionBody::Mcq { .. }, ParsedAnswer::Yes | ParsedAnswer::No) => Outcome::Wrong,
     }
 }
 
@@ -150,12 +155,10 @@ impl Evaluator {
         model.reset();
         let mut overall = Metrics::default();
         let mut by_level = Vec::with_capacity(dataset.levels.len());
+        let mut buf = String::new();
         for slice in &dataset.levels {
-            let mut level_metrics = Metrics::default();
-            for question in &slice.questions {
-                let outcome = self.ask(model, question, &slice.exemplars);
-                level_metrics.record(outcome);
-            }
+            let level_metrics =
+                self.eval_questions(model, &slice.questions, &slice.exemplars, &mut buf);
             overall += level_metrics;
             by_level.push(LevelMetrics { child_level: slice.child_level, metrics: level_metrics });
         }
@@ -169,6 +172,46 @@ impl Evaluator {
         }
     }
 
+    /// Evaluate `model` on a run of questions sharing one exemplar pool,
+    /// without resetting the model first — the unit of work the grid
+    /// scheduler hands out as `(cell, chunk)`. Metrics are additive, so
+    /// summing chunk results in index order equals one sequential pass.
+    pub fn run_questions(
+        &self,
+        model: &dyn LanguageModel,
+        questions: &[Question],
+        exemplars: &[Question],
+    ) -> Metrics {
+        self.eval_questions(model, questions, exemplars, &mut String::new())
+    }
+
+    /// The question loop behind [`Evaluator::run`] / `run_questions`:
+    /// renders the few-shot prefix once for the whole run and each
+    /// target question into the reused `buf`, so the steady state
+    /// allocates nothing per query.
+    fn eval_questions(
+        &self,
+        model: &dyn LanguageModel,
+        questions: &[Question],
+        exemplars: &[Question],
+        buf: &mut String,
+    ) -> Metrics {
+        let prefix =
+            render_prefix(self.config.setting, self.config.variant, exemplars, PromptSetting::SHOTS);
+        let mut metrics = Metrics::default();
+        for question in questions {
+            render_prompt_into(question, self.config.setting, self.config.variant, &prefix, buf);
+            let query = Query { prompt: buf, question, setting: self.config.setting };
+            let response = model.answer(&query);
+            let parsed = match question.kind() {
+                QuestionKind::TrueFalse => parse_tf(&response),
+                QuestionKind::Mcq => parse_mcq(&response),
+            };
+            metrics.record(score(question, parsed));
+        }
+        metrics
+    }
+
     /// Ask a single question and score the response.
     pub fn ask(
         &self,
@@ -177,7 +220,7 @@ impl Evaluator {
         exemplars: &[Question],
     ) -> Outcome {
         let prompt = render_prompt(question, self.config.setting, self.config.variant, exemplars);
-        let query = Query { prompt, question, setting: self.config.setting };
+        let query = Query { prompt: &prompt, question, setting: self.config.setting };
         let response = model.answer(&query);
         let parsed = match question.kind() {
             QuestionKind::TrueFalse => parse_tf(&response),

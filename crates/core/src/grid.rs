@@ -1,16 +1,31 @@
 //! Parallel grid evaluation.
 //!
 //! Tables 5–7 evaluate a (model × taxonomy) grid — hundreds of thousands
-//! of independent queries. [`GridRunner`] fans the grid's cells out over
-//! a scoped thread pool (cells are embarrassingly parallel; every model
-//! is `Send + Sync` and deterministic, so parallel results are
-//! byte-identical to sequential ones).
+//! of independent queries. [`GridRunner`] splits every cell into
+//! fixed-size question-range chunks and fans the `(cell, chunk)` work
+//! units out over a scoped thread pool. Chunking is what keeps the pool
+//! busy at the tail: with whole-cell scheduling the one NCBI-sized cell
+//! serializes the end of the grid, while chunks of a few hundred
+//! questions keep every worker fed until the last few units.
+//!
+//! Everything is deterministic: models are `Send + Sync` and answer as a
+//! pure function of (question, setting), and chunk [`Metrics`] are
+//! additive counters merged in ascending index order — so the assembled
+//! reports are byte-identical to a sequential run regardless of thread
+//! count, chunk size, or scheduling order (proven by
+//! `tests/perf_equivalence.rs`).
 
 use crate::dataset::Dataset;
-use crate::eval::{EvalConfig, EvalReport, Evaluator};
+use crate::eval::{EvalConfig, EvalReport, Evaluator, LevelMetrics};
+use crate::metrics::Metrics;
 use crate::model::LanguageModel;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Default questions per work unit. Large enough that scheduling
+/// overhead (one atomic fetch and one lock per unit) is noise, small
+/// enough that even a single big cell splits into many units.
+pub const DEFAULT_CHUNK_SIZE: usize = 256;
 
 /// One grid cell: which model to run on which dataset.
 #[derive(Debug, Clone, Copy)]
@@ -21,23 +36,44 @@ pub struct GridCell {
     pub dataset: usize,
 }
 
+/// One schedulable unit: a question range of one level of one cell.
+#[derive(Debug, Clone, Copy)]
+struct WorkUnit {
+    /// Index into the cell list.
+    cell: usize,
+    /// Index into the dataset's level slices.
+    level: usize,
+    /// Question range within the level (empty for an empty level).
+    start: usize,
+    end: usize,
+}
+
 /// Fans (model × dataset) evaluations out over worker threads.
 #[derive(Debug, Clone, Copy)]
 pub struct GridRunner {
     config: EvalConfig,
     threads: usize,
+    chunk_size: usize,
 }
 
 impl GridRunner {
     /// A runner using up to `threads` workers (clamped to ≥ 1).
     pub fn new(config: EvalConfig, threads: usize) -> Self {
-        GridRunner { config, threads: threads.max(1) }
+        GridRunner { config, threads: threads.max(1), chunk_size: DEFAULT_CHUNK_SIZE }
     }
 
     /// A runner sized to the machine's available parallelism.
     pub fn with_available_parallelism(config: EvalConfig) -> Self {
         let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
         Self::new(config, threads)
+    }
+
+    /// Override the questions-per-work-unit granularity (clamped to
+    /// ≥ 1). Results are identical for every chunk size; only load
+    /// balance changes.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
     }
 
     /// Evaluate the full cross product of `models` × `datasets`.
@@ -70,22 +106,60 @@ impl GridRunner {
         cells: &[GridCell],
     ) -> Vec<EvalReport> {
         let evaluator = Evaluator::new(self.config);
-        let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<CellResult>>> = Mutex::new(vec![None; cells.len()]);
 
-        std::thread::scope(|scope| {
-            for _ in 0..self.threads.min(cells.len().max(1)) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= cells.len() {
+        // Split every cell into (level, question-range) work units —
+        // cell-major, level-major, ascending start, so merging unit
+        // results in index order replays the sequential question order.
+        // An empty level still gets one (empty) unit, keeping the
+        // per-level report structure uniform.
+        let mut units: Vec<WorkUnit> = Vec::new();
+        let mut cell_units: Vec<std::ops::Range<usize>> = Vec::with_capacity(cells.len());
+        for (ci, cell) in cells.iter().enumerate() {
+            let first = units.len();
+            for (li, slice) in datasets[cell.dataset].levels.iter().enumerate() {
+                let n = slice.questions.len();
+                let mut start = 0usize;
+                loop {
+                    let end = n.min(start.saturating_add(self.chunk_size));
+                    units.push(WorkUnit { cell: ci, level: li, start, end });
+                    start = end;
+                    if start >= n {
                         break;
                     }
-                    let cell = cells[i];
+                }
+            }
+            cell_units.push(first..units.len());
+        }
+
+        // Per-run model reset happens once per cell up front (exactly as
+        // often as the old whole-cell path), before any chunk of that
+        // cell can run.
+        for cell in cells {
+            models[cell.model].reset();
+        }
+
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<ChunkResult>>> = Mutex::new(vec![None; units.len()]);
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads.min(units.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= units.len() {
+                        break;
+                    }
+                    let unit = units[i];
+                    let cell = cells[unit.cell];
+                    let slice = &datasets[cell.dataset].levels[unit.level];
                     // Catch the panic *before* taking the lock so a
-                    // misbehaving cell can never poison it for the rest
+                    // misbehaving chunk can never poison it for the rest
                     // of the grid.
                     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        evaluator.run(models[cell.model], datasets[cell.dataset])
+                        evaluator.run_questions(
+                            models[cell.model],
+                            &slice.questions[unit.start..unit.end],
+                            &slice.exemplars,
+                        )
                     }))
                     .map_err(|payload| panic_message(payload.as_ref()));
                     results.lock().expect("no panics while holding the lock")[i] = Some(outcome);
@@ -94,30 +168,68 @@ impl GridRunner {
         });
 
         let outcomes = results.into_inner().expect("scope joined all workers");
-        let failures: Vec<String> = outcomes
+
+        // Failures are aggregated per *cell* (first failing chunk's
+        // reason speaks for the cell), preserving the cell-identity
+        // panic contract at chunk granularity.
+        let failures: Vec<String> = cells
             .iter()
-            .zip(cells)
-            .filter_map(|(outcome, cell)| match outcome {
-                Some(Err(reason)) => Some(format!(
+            .zip(&cell_units)
+            .filter_map(|(cell, range)| {
+                let reason = outcomes[range.clone()].iter().find_map(|o| match o {
+                    Some(Err(reason)) => Some(reason),
+                    _ => None,
+                })?;
+                Some(format!(
                     "cell (model `{}`, dataset `{:?}`): {reason}",
                     models[cell.model].name(),
                     datasets[cell.dataset].taxonomy,
-                )),
-                _ => None,
+                ))
             })
             .collect();
         if !failures.is_empty() {
             panic!("{} grid cell(s) panicked: {}", failures.len(), failures.join("; "));
         }
 
-        outcomes
-            .into_iter()
-            .map(|r| r.expect("every cell was processed").expect("failures handled above"))
+        // Merge chunk metrics in unit-index order. Metrics are additive
+        // counters, so the per-level and overall sums are bit-for-bit
+        // what a sequential pass records.
+        cells
+            .iter()
+            .zip(&cell_units)
+            .map(|(cell, range)| {
+                let dataset = datasets[cell.dataset];
+                let mut by_level: Vec<LevelMetrics> = dataset
+                    .levels
+                    .iter()
+                    .map(|s| LevelMetrics { child_level: s.child_level, metrics: Metrics::default() })
+                    .collect();
+                for (unit, outcome) in units[range.clone()].iter().zip(&outcomes[range.clone()]) {
+                    let metrics = outcome
+                        .as_ref()
+                        .expect("every unit was processed")
+                        .as_ref()
+                        .expect("failures handled above");
+                    by_level[unit.level].metrics += *metrics;
+                }
+                let mut overall = Metrics::default();
+                for level in &by_level {
+                    overall += level.metrics;
+                }
+                EvalReport {
+                    model: models[cell.model].name().to_owned(),
+                    taxonomy: dataset.taxonomy,
+                    flavor: dataset.flavor,
+                    setting: self.config.setting,
+                    overall,
+                    by_level,
+                }
+            })
             .collect()
     }
 }
 
-type CellResult = Result<EvalReport, String>;
+type ChunkResult = Result<Metrics, String>;
 
 /// Best-effort extraction of a panic payload's message.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {

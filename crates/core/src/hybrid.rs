@@ -91,7 +91,7 @@ impl HybridTaxonomy {
         }
         let question = self.model_question(child, ancestor);
         let prompt = render_question(&question, TemplateVariant::Canonical);
-        let query = Query { prompt, question: &question, setting: PromptSetting::ZeroShot };
+        let query = Query { prompt: &prompt, question: &question, setting: PromptSetting::ZeroShot };
         let verdict = match parse_tf(&model.answer(&query)) {
             ParsedAnswer::Yes => IsA::Yes,
             ParsedAnswer::No => IsA::No,
@@ -130,7 +130,7 @@ impl HybridTaxonomy {
     fn is_a_via_model(&self, child: &str, ancestor: &str, model: &dyn LanguageModel) -> (IsA, AnsweredBy) {
         let question = self.model_question(child, ancestor);
         let prompt = render_question(&question, TemplateVariant::Canonical);
-        let query = Query { prompt, question: &question, setting: PromptSetting::ZeroShot };
+        let query = Query { prompt: &prompt, question: &question, setting: PromptSetting::ZeroShot };
         let verdict = match parse_tf(&model.answer(&query)) {
             ParsedAnswer::Yes => IsA::Yes,
             ParsedAnswer::No => IsA::No,

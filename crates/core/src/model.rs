@@ -9,10 +9,12 @@ use crate::question::Question;
 /// models additionally inspect the structured question (the stand-in for
 /// what a real LLM absorbed from its training data about these
 /// entities).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct Query<'q> {
     /// The fully rendered prompt text (templates + prompting setting).
-    pub prompt: String,
+    /// Borrowed so the evaluator can render into one reusable buffer
+    /// per worker instead of allocating a `String` per query.
+    pub prompt: &'q str,
     /// The structured question behind the prompt.
     pub question: &'q Question,
     /// The prompting setting in force.
@@ -107,7 +109,7 @@ mod tests {
             instance_typing: false,
             body: QuestionBody::TrueFalse { candidate: "b".into(), expected_yes: true, negative: None },
         };
-        let query = Query { prompt: "p".into(), question: &q, setting: PromptSetting::ZeroShot };
+        let query = Query { prompt: "p", question: &q, setting: PromptSetting::ZeroShot };
         assert_eq!(m.answer(&query), "Yes.");
         assert_eq!(m.name(), "always-yes");
         m.reset();

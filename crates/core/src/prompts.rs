@@ -3,8 +3,11 @@
 //! step by step.").
 
 use crate::question::{GoldAnswer, Question};
-use crate::templates::{render_question, TemplateVariant};
+use crate::templates::{render_question_into, TemplateVariant};
 use std::fmt;
+
+/// The Chain-of-Thoughts suffix of Figure 5 (bottom).
+pub const COT_SUFFIX: &str = " Let's think step by step.";
 
 /// The three prompting settings evaluated in the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -41,10 +44,74 @@ impl fmt::Display for PromptSetting {
 
 /// Render a gold answer the way the exemplar block of Figure 5 does.
 pub fn render_gold(gold: GoldAnswer) -> String {
+    let mut out = String::new();
+    render_gold_into(gold, &mut out);
+    out
+}
+
+/// Append a gold answer the way the exemplar block of Figure 5 does.
+pub fn render_gold_into(gold: GoldAnswer, out: &mut String) {
     match gold {
-        GoldAnswer::Yes => "Yes.".to_owned(),
-        GoldAnswer::No => "No.".to_owned(),
-        GoldAnswer::Option(i) => format!("{})", (b'A' + i) as char),
+        GoldAnswer::Yes => out.push_str("Yes."),
+        GoldAnswer::No => out.push_str("No."),
+        GoldAnswer::Option(i) => {
+            out.push((b'A' + i) as char);
+            out.push(')');
+        }
+    }
+}
+
+/// Render the setting's prompt *prefix* — everything that precedes the
+/// target question and is therefore shared by every question asked
+/// under the same `(setting, variant, exemplars, shots)`.
+///
+/// Empty except for few-shot, where it is the exemplar block of
+/// Figure 5 (top). The evaluator renders this once per dataset level
+/// and reuses it for every question and repeat — the few-shot prefix is
+/// ~85% of the prompt bytes, so re-rendering it per question dominated
+/// the old prompt-construction cost.
+pub fn render_prefix(
+    setting: PromptSetting,
+    variant: TemplateVariant,
+    exemplars: &[Question],
+    shots: usize,
+) -> String {
+    let mut out = String::new();
+    if setting != PromptSetting::FewShot {
+        return out;
+    }
+    for (i, e) in exemplars.iter().take(shots).enumerate() {
+        if i == 1 {
+            // One rendered line is the best capacity estimate for the
+            // rest — exemplar lines are near-uniform in length.
+            out.reserve(out.len() * (shots.min(exemplars.len()) - 1));
+        }
+        out.push_str("Example: ");
+        render_question_into(e, variant, &mut out);
+        out.push(' ');
+        render_gold_into(e.gold(), &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render the full prompt for `question` into a reusable buffer, given
+/// a prefix from [`render_prefix`] for the same setting and variant.
+///
+/// Clears `out` first, so a per-worker buffer can be reused across an
+/// entire evaluation run without reallocating.
+pub fn render_prompt_into(
+    question: &Question,
+    setting: PromptSetting,
+    variant: TemplateVariant,
+    prefix: &str,
+    out: &mut String,
+) {
+    out.clear();
+    out.push_str(prefix);
+    render_question_into(question, variant, out);
+    if setting == PromptSetting::ChainOfThought {
+        out.push_str(COT_SUFFIX);
     }
 }
 
@@ -68,23 +135,15 @@ pub fn render_prompt_n(
     exemplars: &[Question],
     shots: usize,
 ) -> String {
-    let body = render_question(question, variant);
-    match setting {
-        PromptSetting::ZeroShot => body,
-        PromptSetting::ChainOfThought => format!("{body} Let's think step by step."),
-        PromptSetting::FewShot => {
-            let mut out = String::with_capacity(body.len() * (shots + 1));
-            for e in exemplars.iter().take(shots) {
-                out.push_str("Example: ");
-                out.push_str(&render_question(e, variant));
-                out.push(' ');
-                out.push_str(&render_gold(e.gold()));
-                out.push('\n');
-            }
-            out.push_str(&body);
-            out
-        }
+    // Delegating through render_prefix also fixes the old capacity
+    // estimate, which ignored the "Example: " prefixes and gold answers
+    // and guaranteed mid-build reallocation.
+    let mut out = render_prefix(setting, variant, exemplars, shots);
+    render_question_into(question, variant, &mut out);
+    if setting == PromptSetting::ChainOfThought {
+        out.push_str(COT_SUFFIX);
     }
+    out
 }
 
 #[cfg(test)]

@@ -41,39 +41,79 @@ impl TemplateVariant {
 }
 
 /// The domain-specific noun phrase appended to entity names in the
-/// templates (Table 2/3), e.g. "products" for Shopping.
-fn tf_phrase(kind: TaxonomyKind, name: &str) -> String {
-    match kind.domain() {
-        Domain::Shopping => format!("{name} products"),
-        Domain::General => format!("{name} entity type"),
-        Domain::ComputerScience => format!("{name} computer science research concept"),
-        Domain::Geography => format!("{name} geographical concept"),
-        Domain::Language => format!("{name} language"),
-        Domain::Health | Domain::Biology => name.to_owned(),
-        Domain::Medical => format!("{name} Adverse Events concept"),
-    }
+/// templates (Table 2/3), e.g. "products" for Shopping — appended to
+/// `out` so the evaluator's hot path can reuse one buffer per worker.
+fn tf_phrase_into(kind: TaxonomyKind, name: &str, out: &mut String) {
+    out.push_str(name);
+    out.push_str(match kind.domain() {
+        Domain::Shopping => " products",
+        Domain::General => " entity type",
+        Domain::ComputerScience => " computer science research concept",
+        Domain::Geography => " geographical concept",
+        Domain::Language => " language",
+        Domain::Health | Domain::Biology => "",
+        Domain::Medical => " Adverse Events concept",
+    });
 }
 
-fn mcq_phrase(kind: TaxonomyKind, name: &str) -> String {
-    match kind.domain() {
-        Domain::Shopping => format!("{name} product"),
-        Domain::General => format!("{name} entity type"),
-        Domain::ComputerScience => format!("{name} research concept"),
-        Domain::Geography => format!("{name} geographical concept"),
-        Domain::Language => format!("{name} language"),
-        Domain::Health | Domain::Biology => name.to_owned(),
-        Domain::Medical => format!("{name} Adverse Events concept"),
-    }
+fn mcq_phrase_into(kind: TaxonomyKind, name: &str, out: &mut String) {
+    out.push_str(name);
+    out.push_str(match kind.domain() {
+        Domain::Shopping => " product",
+        Domain::General => " entity type",
+        Domain::ComputerScience => " research concept",
+        Domain::Geography => " geographical concept",
+        Domain::Language => " language",
+        Domain::Health | Domain::Biology => "",
+        Domain::Medical => " Adverse Events concept",
+    });
+}
+
+/// Append the True/False question text for `(child, candidate)` in the
+/// domain phrasing of Table 2.
+pub fn render_tf_into(
+    kind: TaxonomyKind,
+    variant: TemplateVariant,
+    child: &str,
+    candidate: &str,
+    out: &mut String,
+) {
+    out.push_str(if kind.domain() == Domain::Shopping { "Are " } else { "Is " });
+    tf_phrase_into(kind, child, out);
+    out.push(' ');
+    out.push_str(variant.type_of());
+    out.push(' ');
+    tf_phrase_into(kind, candidate, out);
+    out.push_str("? answer with (Yes/No/I don't know)");
 }
 
 /// Render the True/False question text for `(child, candidate)` in the
 /// domain phrasing of Table 2.
 pub fn render_tf(kind: TaxonomyKind, variant: TemplateVariant, child: &str, candidate: &str) -> String {
-    let rel = variant.type_of();
-    let child_p = tf_phrase(kind, child);
-    let cand_p = tf_phrase(kind, candidate);
-    let verb = if kind.domain() == Domain::Shopping { "Are" } else { "Is" };
-    format!("{verb} {child_p} {rel} {cand_p}? answer with (Yes/No/I don't know)")
+    let mut out = String::new();
+    render_tf_into(kind, variant, child, candidate, &mut out);
+    out
+}
+
+/// Append the MCQ question text of Table 3.
+pub fn render_mcq_into(
+    kind: TaxonomyKind,
+    variant: TemplateVariant,
+    child: &str,
+    options: &[String; 4],
+    out: &mut String,
+) {
+    out.push_str("What is the most ");
+    out.push_str(variant.appropriate());
+    out.push_str(" supertype of ");
+    mcq_phrase_into(kind, child, out);
+    out.push('?');
+    for (i, option) in options.iter().enumerate() {
+        out.push(' ');
+        out.push((b'A' + i as u8) as char);
+        out.push_str(") ");
+        out.push_str(option);
+    }
 }
 
 /// Render the MCQ question text of Table 3.
@@ -83,22 +123,28 @@ pub fn render_mcq(
     child: &str,
     options: &[String; 4],
 ) -> String {
-    let adj = variant.appropriate();
-    let child_p = mcq_phrase(kind, child);
-    format!(
-        "What is the most {adj} supertype of {child_p}? A) {} B) {} C) {} D) {}",
-        options[0], options[1], options[2], options[3]
-    )
+    let mut out = String::new();
+    render_mcq_into(kind, variant, child, options, &mut out);
+    out
+}
+
+/// Append any question in its domain template.
+pub fn render_question_into(q: &Question, variant: TemplateVariant, out: &mut String) {
+    match &q.body {
+        QuestionBody::TrueFalse { candidate, .. } => {
+            render_tf_into(q.taxonomy, variant, &q.child, candidate, out)
+        }
+        QuestionBody::Mcq { options, .. } => {
+            render_mcq_into(q.taxonomy, variant, &q.child, options, out)
+        }
+    }
 }
 
 /// Render any question in its domain template.
 pub fn render_question(q: &Question, variant: TemplateVariant) -> String {
-    match &q.body {
-        QuestionBody::TrueFalse { candidate, .. } => {
-            render_tf(q.taxonomy, variant, &q.child, candidate)
-        }
-        QuestionBody::Mcq { options, .. } => render_mcq(q.taxonomy, variant, &q.child, options),
-    }
+    let mut out = String::new();
+    render_question_into(q, variant, &mut out);
+    out
 }
 
 /// A user-supplied template pair for custom domains.

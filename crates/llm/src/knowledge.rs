@@ -26,6 +26,7 @@
 
 use crate::calib;
 use crate::profile::{ModelId, ModelProfile};
+use crate::similarity::{self, SimilarityCache};
 use taxoglimpse_core::dataset::QuestionDataset;
 use taxoglimpse_core::prompts::PromptSetting;
 use taxoglimpse_core::question::{NegativeKind, Question, QuestionBody};
@@ -169,7 +170,8 @@ impl KnowledgeModel {
 
         // Surface-form evidence, centered per regime.
         if self.use_surface_evidence {
-            logit += self.profile.similarity_weight * self.evidence(question);
+            let evidence = similarity::with_cache(|cache| self.evidence(question, cache));
+            logit += self.profile.similarity_weight * evidence;
         }
 
         // Prompt-setting accuracy shift.
@@ -200,7 +202,13 @@ impl KnowledgeModel {
     }
 
     /// Signed surface evidence in roughly [-1, 1], centered per regime.
-    fn evidence(&self, question: &Question) -> f64 {
+    ///
+    /// All surface lookups (trigram similarity, whole-name containment,
+    /// head-noun matches) are served from the [`SimilarityCache`]
+    /// interner — byte-identical to the direct functions, but each
+    /// unique name's lowercase form and trigram set is computed only
+    /// once per thread instead of up to five times per question.
+    fn evidence(&self, question: &Question, cache: &SimilarityCache) -> f64 {
         let center = regime_center(question.taxonomy);
         // Instance typing gets an extra lexical term: a product named
         // "… Compact Pencil X137" trivially string-matches a "Pencils"
@@ -215,7 +223,7 @@ impl KnowledgeModel {
             if !question.instance_typing {
                 return 0.0;
             }
-            let hit = |concept: &str| head_matches(&question.child, concept);
+            let hit = |concept: &str| cache.head_matches(&question.child, concept);
             let mut e = 0.0;
             if hit(supports) {
                 e += weight;
@@ -234,23 +242,21 @@ impl KnowledgeModel {
         // children *always* embed the parent, so there the term is
         // neutral; for NCBI only the species level fires).
         const CONTAINMENT: f64 = 0.6;
-        let contains = |name: &str, concept: &str| -> bool {
-            concept.len() >= 4 && name.to_ascii_lowercase().contains(&concept.to_ascii_lowercase())
-        };
+        let contains = |name: &str, concept: &str| -> bool { cache.contains_name(name, concept) };
         let lex_center = containment_center(question.taxonomy);
         match &question.body {
             QuestionBody::TrueFalse { candidate, expected_yes, .. } => {
                 if *expected_yes {
                     let fires = contains(&question.child, candidate);
-                    trigram_similarity(&question.child, candidate) - center
+                    cache.similarity(&question.child, candidate) - center
                         + CONTAINMENT * (f64::from(fires) - lex_center)
                         + lexical(candidate, None, LEX_CONFIRM)
                 } else {
                     // Correctly rejecting is easier when the child clearly
                     // belongs elsewhere (high similarity to the true
                     // parent, low to the candidate).
-                    let to_true = trigram_similarity(&question.child, &question.true_parent);
-                    let to_cand = trigram_similarity(&question.child, candidate);
+                    let to_true = cache.similarity(&question.child, &question.true_parent);
+                    let to_cand = cache.similarity(&question.child, candidate);
                     let fires = contains(&question.child, &question.true_parent)
                         && !contains(&question.child, candidate);
                     to_true - to_cand
@@ -259,12 +265,12 @@ impl KnowledgeModel {
                 }
             }
             QuestionBody::Mcq { options, correct } => {
-                let to_correct = trigram_similarity(&question.child, &options[*correct as usize]);
+                let to_correct = cache.similarity(&question.child, &options[*correct as usize]);
                 let best_distractor = options
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| *i != *correct as usize)
-                    .map(|(_, o)| trigram_similarity(&question.child, o))
+                    .map(|(_, o)| cache.similarity(&question.child, o))
                     .fold(0.0f64, f64::max);
                 to_correct - best_distractor
             }
@@ -301,18 +307,6 @@ fn containment_center(kind: taxoglimpse_core::domain::TaxonomyKind) -> f64 {
         | NameRegime::GeoNames
         | NameRegime::Glottolog => 0.0,
     }
-}
-
-/// Whether the head noun of `concept` (its last word, singular-ized)
-/// appears in `name`, case-insensitively.
-fn head_matches(name: &str, concept: &str) -> bool {
-    let head = concept.split(' ').next_back().unwrap_or(concept);
-    let head = head.strip_suffix('s').unwrap_or(head);
-    if head.len() < 3 {
-        return false;
-    }
-    let name_lower = name.to_ascii_lowercase();
-    name_lower.contains(&head.to_ascii_lowercase())
 }
 
 fn logit(p: f64) -> f64 {

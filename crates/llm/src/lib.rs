@@ -38,6 +38,7 @@ pub mod knowledge;
 pub mod profile;
 pub mod respond;
 pub mod scalability;
+pub mod similarity;
 pub mod simulate;
 pub mod tokenizer;
 pub mod zoo;

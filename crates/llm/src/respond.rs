@@ -32,66 +32,54 @@ pub fn render(
     setting: PromptSetting,
     noise: u64,
 ) -> String {
+    // Pick the phrasing-variant index first, then construct only the
+    // picked variant — building every variant just to clone one was
+    // pure allocation waste on the hot path.
     let pick = |n: usize, salt: u64| (mix64(noise ^ salt) % n as u64) as usize;
     let core = match verdict {
         Verdict::Yes => match model.family() {
             ModelFamily::FlanT5 | ModelFamily::Llms4Ol => "yes".to_owned(),
-            ModelFamily::Gpt | ModelFamily::Claude => {
-                let forms = [
-                    format!("Yes, {} is a type of {}.", question.child, question.shown_candidate()),
-                    format!("Yes — {} falls under {}.", question.child, question.shown_candidate()),
-                    "Yes.".to_owned(),
-                ];
-                forms[pick(forms.len(), 1)].clone()
-            }
-            _ => {
-                let forms = [
-                    "Yes.".to_owned(),
-                    "Sure! The answer is: Yes".to_owned(),
-                    format!("Yes, that's correct — {} belongs there.", question.child),
-                ];
-                forms[pick(forms.len(), 2)].clone()
-            }
+            ModelFamily::Gpt | ModelFamily::Claude => match pick(3, 1) {
+                0 => format!("Yes, {} is a type of {}.", question.child, question.shown_candidate()),
+                1 => format!("Yes — {} falls under {}.", question.child, question.shown_candidate()),
+                _ => "Yes.".to_owned(),
+            },
+            _ => match pick(3, 2) {
+                0 => "Yes.".to_owned(),
+                1 => "Sure! The answer is: Yes".to_owned(),
+                _ => format!("Yes, that's correct — {} belongs there.", question.child),
+            },
         },
         Verdict::No => match model.family() {
             ModelFamily::FlanT5 | ModelFamily::Llms4Ol => "no".to_owned(),
-            ModelFamily::Gpt | ModelFamily::Claude => {
-                let forms = [
-                    format!("No, {} is not a type of {}.", question.child, question.shown_candidate()),
-                    "No.".to_owned(),
-                    format!("No — {} belongs to a different category.", question.child),
-                ];
-                forms[pick(forms.len(), 3)].clone()
-            }
-            _ => {
-                let forms = ["No.".to_owned(), "No, that is not correct.".to_owned()];
-                forms[pick(forms.len(), 4)].clone()
-            }
+            ModelFamily::Gpt | ModelFamily::Claude => match pick(3, 3) {
+                0 => format!("No, {} is not a type of {}.", question.child, question.shown_candidate()),
+                1 => "No.".to_owned(),
+                _ => format!("No — {} belongs to a different category.", question.child),
+            },
+            _ => match pick(2, 4) {
+                0 => "No.".to_owned(),
+                _ => "No, that is not correct.".to_owned(),
+            },
         },
-        Verdict::IDontKnow => {
-            let forms = [
-                "I don't know.".to_owned(),
-                "I don't know the answer to that.".to_owned(),
-                format!("I'm not sure about {}, so I don't know.", question.child),
-            ];
-            forms[pick(forms.len(), 5)].clone()
-        }
+        Verdict::IDontKnow => match pick(3, 5) {
+            0 => "I don't know.".to_owned(),
+            1 => "I don't know the answer to that.".to_owned(),
+            _ => format!("I'm not sure about {}, so I don't know.", question.child),
+        },
         Verdict::Option(i) => {
             let letter = (b'A' + i) as char;
             match model.family() {
                 ModelFamily::FlanT5 | ModelFamily::Llms4Ol => format!("{letter})"),
-                ModelFamily::Gpt | ModelFamily::Claude => {
-                    let forms = [
-                        format!("The answer is {letter}."),
-                        format!("{letter})"),
-                        format!("The most appropriate supertype is {letter})."),
-                    ];
-                    forms[pick(forms.len(), 6)].clone()
-                }
-                _ => {
-                    let forms = [format!("{letter})"), format!("I would choose {letter}.")];
-                    forms[pick(forms.len(), 7)].clone()
-                }
+                ModelFamily::Gpt | ModelFamily::Claude => match pick(3, 6) {
+                    0 => format!("The answer is {letter}."),
+                    1 => format!("{letter})"),
+                    _ => format!("The most appropriate supertype is {letter})."),
+                },
+                _ => match pick(2, 7) {
+                    0 => format!("{letter})"),
+                    _ => format!("I would choose {letter}."),
+                },
             }
         }
     };

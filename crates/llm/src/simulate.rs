@@ -1,14 +1,15 @@
 //! The simulated LLM: a [`LanguageModel`] whose answers follow the
 //! knowledge model's probabilities, deterministically per question.
 
-use crate::knowledge::{trigram_similarity, Decision, KnowledgeModel};
+use crate::knowledge::{Decision, KnowledgeModel};
 use crate::profile::ModelId;
 use crate::respond::{render, Verdict};
+use crate::similarity;
 use crate::tokenizer::Tokenizer;
 use std::sync::Mutex;
 use taxoglimpse_core::model::{LanguageModel, Query};
 use taxoglimpse_core::question::{Question, QuestionBody};
-use taxoglimpse_synth::rng::{hash_str, mix64};
+use taxoglimpse_synth::rng::{hash_str, mix64, StreamHasher};
 
 /// Cumulative usage counters for one simulated model.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -73,16 +74,28 @@ impl SimulatedLlm {
         *self.usage.lock().expect("usage lock not poisoned")
     }
 
-    /// Uniform draw in [0,1) from the question's stable identity.
-    fn draw(&self, question: &Question, setting_tag: u64, stream: u64) -> f64 {
-        let key = format!(
-            "{}|{}|{}|{}",
-            question.taxonomy.label(),
-            question.child,
-            question.shown_candidate(),
-            question.id
-        );
-        let h = mix64(hash_str(self.seed ^ setting_tag, &key) ^ stream.wrapping_mul(0x9E3779B97F4A7C15));
+    /// Hash of the question's stable identity under one prompt setting —
+    /// the shared base every per-question draw stream mixes from.
+    ///
+    /// Streamed equivalent of hashing the old `"{tax}|{child}|{cand}|{id}"`
+    /// key (see `StreamHasher`'s equivalence tests): same 64-bit value,
+    /// no key `String` — and computed once per verdict instead of once
+    /// per draw (a verdict makes two to seven draws).
+    fn draw_base(&self, question: &Question, setting_tag: u64) -> u64 {
+        let mut h = StreamHasher::new(self.seed ^ setting_tag);
+        h.write_str(question.taxonomy.label());
+        h.write_str("|");
+        h.write_str(&question.child);
+        h.write_str("|");
+        h.write_str(question.shown_candidate());
+        h.write_str("|");
+        h.write_decimal(question.id);
+        h.finish()
+    }
+
+    /// Uniform draw in [0,1) from a draw base and stream index.
+    fn draw_from(base: u64, stream: u64) -> f64 {
+        let h = mix64(base ^ stream.wrapping_mul(0x9E3779B97F4A7C15));
         (h >> 11) as f64 / (1u64 << 53) as f64
     }
 
@@ -93,11 +106,12 @@ impl SimulatedLlm {
         let shots = query.prompt.matches("Example: ").count();
         let decision = self.knowledge.decide_with_shots(question, query.setting, shots);
         let setting_tag = query.setting as u64 + 1;
+        let base = self.draw_base(question, setting_tag);
 
-        if self.draw(question, setting_tag, 0) < decision.miss_prob {
+        if Self::draw_from(base, 0) < decision.miss_prob {
             return Verdict::IDontKnow;
         }
-        let correct = self.draw(question, setting_tag, 1) < decision.correct_prob;
+        let correct = Self::draw_from(base, 1) < decision.correct_prob;
         match &question.body {
             QuestionBody::TrueFalse { expected_yes, .. } => {
                 if correct == *expected_yes {
@@ -112,18 +126,20 @@ impl SimulatedLlm {
                 } else {
                     // Wrong answers gravitate to the most surface-similar
                     // distractor, like a confused human.
-                    let mut best = (0u8, f64::NEG_INFINITY);
-                    for (i, option) in options.iter().enumerate() {
-                        if i as u8 == *gold {
-                            continue;
+                    similarity::with_cache(|cache| {
+                        let mut best = (0u8, f64::NEG_INFINITY);
+                        for (i, option) in options.iter().enumerate() {
+                            if i as u8 == *gold {
+                                continue;
+                            }
+                            let sim = cache.similarity(&question.child, option)
+                                + 0.05 * Self::draw_from(base, 2 + i as u64);
+                            if sim > best.1 {
+                                best = (i as u8, sim);
+                            }
                         }
-                        let sim = trigram_similarity(&question.child, option)
-                            + 0.05 * self.draw(question, setting_tag, 2 + i as u64);
-                        if sim > best.1 {
-                            best = (i as u8, sim);
-                        }
-                    }
-                    Verdict::Option(best.0)
+                        Verdict::Option(best.0)
+                    })
                 }
             }
         }

@@ -54,10 +54,81 @@ impl Tokenizer {
         tokens
     }
 
-    /// Token count of `text`.
+    /// Token count of `text` — same value as `tokenize(text).len()`,
+    /// computed without materialising the token vector (this runs twice
+    /// per query for usage accounting, and the prompt pass dominated
+    /// the few-shot hot path before the byte-level fast path).
     pub fn count(&self, text: &str) -> usize {
-        self.tokenize(text).len()
+        if text.is_ascii() {
+            return count_ascii(text.as_bytes());
+        }
+        let mut tokens = 0;
+        for word in text.split_whitespace() {
+            let mut rest = word;
+            while !rest.is_empty() {
+                let is_alnum = rest
+                    .chars()
+                    .next()
+                    .map(|c| c.is_alphanumeric())
+                    .unwrap_or(false);
+                let run_end = rest
+                    .char_indices()
+                    .find(|(_, c)| c.is_alphanumeric() != is_alnum)
+                    .map(|(i, _)| i)
+                    .unwrap_or(rest.len());
+                let (run, tail) = rest.split_at(run_end);
+                // A run of k chars splits into ceil(k / MAX_TOKEN_CHARS)
+                // chunks — exactly what the chunking loop above emits.
+                tokens += run.chars().count().div_ceil(MAX_TOKEN_CHARS);
+                rest = tail;
+            }
+        }
+        tokens
     }
+}
+
+/// Byte-level counting for ASCII text (the overwhelmingly common case),
+/// avoiding UTF-8 decoding entirely. Exactly equivalent to the generic
+/// path: for ASCII, `char::is_alphanumeric` is `[0-9A-Za-z]` and
+/// `char::is_whitespace` is `\t \n \x0b \x0c \r` and space (note `\x0b`
+/// *is* Unicode whitespace but not `u8::is_ascii_whitespace`).
+fn count_ascii(bytes: &[u8]) -> usize {
+    // Byte classes: 0 = whitespace, 1 = alphanumeric, 2 = other.
+    const WS: u8 = 0;
+    const AL: u8 = 1;
+    const OT: u8 = 2;
+    const CLASS: [u8; 256] = {
+        let mut t = [OT; 256];
+        let mut b = 0usize;
+        while b < 256 {
+            let c = b as u8;
+            if matches!(c, b'\t' | b'\n' | b'\x0b' | b'\x0c' | b'\r' | b' ') {
+                t[b] = WS;
+            } else if c.is_ascii_alphanumeric() {
+                t[b] = AL;
+            }
+            b += 1;
+        }
+        t
+    };
+    let mut tokens = 0usize;
+    let mut run_len = 0usize;
+    let mut run_class = WS;
+    for &b in bytes {
+        let class = CLASS[b as usize];
+        if class != run_class {
+            if run_class != WS {
+                tokens += run_len.div_ceil(MAX_TOKEN_CHARS);
+            }
+            run_class = class;
+            run_len = 0;
+        }
+        run_len += 1;
+    }
+    if run_class != WS {
+        tokens += run_len.div_ceil(MAX_TOKEN_CHARS);
+    }
+    tokens
 }
 
 #[cfg(test)]
@@ -107,5 +178,26 @@ mod tests {
         let t = Tokenizer::default();
         let n = t.count("naïve café Sinō-Tibetan 語言");
         assert!(n >= 4);
+    }
+
+    #[test]
+    fn count_equals_tokenize_len() {
+        let t = Tokenizer::default();
+        let samples = [
+            "",
+            "   ",
+            "Is Hailu a type of Hakka-Chinese? (Yes/No/I don't know)",
+            "know)? answer!",
+            "Scrophulariaceae",
+            "Example: Is Verbascum chaixii a type of Verbascum? Yes.",
+            "naïve café Sinō-Tibetan 語言",
+            "a)b)c)d) x--y--z ...",
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789",
+            "vertical\x0btab and\u{00a0}nbsp",
+            "mixed ascii then naïve tail",
+        ];
+        for text in samples {
+            assert_eq!(t.count(text), t.tokenize(text).len(), "{text:?}");
+        }
     }
 }

@@ -131,6 +131,73 @@ pub fn hash_str(seed: u64, s: &str) -> u64 {
     h
 }
 
+/// Incremental [`hash_str`]: feeds byte slices one at a time and
+/// produces exactly the value `hash_str` would return for their
+/// concatenation, without materializing it.
+///
+/// This is the allocation-free path for hot callers that hash a key
+/// assembled from several parts (the simulated LLM hashes a
+/// `taxonomy|child|candidate|id` identity for every question): the
+/// 8-byte chunking of [`hash_str`] is reproduced across part
+/// boundaries by buffering a partial word between writes.
+#[derive(Debug, Clone)]
+pub struct StreamHasher {
+    h: u64,
+    word: u64,
+    shift: u32,
+}
+
+impl StreamHasher {
+    /// Start a stream equivalent to `hash_str(seed, ...)`.
+    pub fn new(seed: u64) -> StreamHasher {
+        StreamHasher { h: mix64(seed ^ 0x51_7c_c1_b7_27_22_0a_95), word: 0, shift: 0 }
+    }
+
+    /// Feed raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.word |= u64::from(b) << self.shift;
+            self.shift += 8;
+            if self.shift == 64 {
+                self.h = mix64(self.h ^ self.word);
+                self.word = 0;
+                self.shift = 0;
+            }
+        }
+    }
+
+    /// Feed a string's bytes.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+    }
+
+    /// Feed the decimal digits of `v`, exactly as `format!("{v}")`
+    /// would produce them, without allocating.
+    pub fn write_decimal(&mut self, mut v: u64) {
+        let mut buf = [0u8; 20];
+        let mut i = buf.len();
+        loop {
+            i -= 1;
+            buf[i] = b'0' + (v % 10) as u8;
+            v /= 10;
+            if v == 0 {
+                break;
+            }
+        }
+        self.write(&buf[i..]);
+    }
+
+    /// Finish the stream, mixing any buffered partial word like
+    /// [`hash_str`] mixes its final short chunk.
+    pub fn finish(self) -> u64 {
+        if self.shift > 0 {
+            mix64(self.h ^ self.word)
+        } else {
+            self.h
+        }
+    }
+}
+
 /// The sampling surface generators program against. Implemented by
 /// [`SynthRng`]; mirrors the subset of `rand::Rng` the workspace uses.
 pub trait Rng {
@@ -331,6 +398,45 @@ mod tests {
         assert_ne!(hash_str(1, "abc"), hash_str(2, "abc"));
         assert_ne!(hash_str(1, "abc"), hash_str(1, "abd"));
         assert_ne!(hash_str(1, ""), hash_str(1, "a"));
+    }
+
+    /// The streaming hasher must equal `hash_str` over the concatenation
+    /// regardless of how the input is split across writes — including
+    /// splits that straddle the 8-byte chunk boundary.
+    #[test]
+    fn stream_hasher_matches_hash_str() {
+        let samples = [
+            "",
+            "a",
+            "abcdefg",
+            "abcdefgh",
+            "abcdefghi",
+            "eBay|Wireless Speakers|Audio|4294967297",
+            "exactly sixteen.",
+            "ünïcødé names työ",
+        ];
+        for s in samples {
+            for seed in [0u64, 1, 0xDEAD_BEEF] {
+                for split in 0..=s.len() {
+                    if !s.is_char_boundary(split) {
+                        continue;
+                    }
+                    let mut h = StreamHasher::new(seed);
+                    h.write_str(&s[..split]);
+                    h.write_str(&s[split..]);
+                    assert_eq!(h.finish(), hash_str(seed, s), "{s:?} split at {split}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stream_hasher_decimal_matches_formatted_digits() {
+        for v in [0u64, 1, 9, 10, 12345, u64::MAX] {
+            let mut a = StreamHasher::new(7);
+            a.write_decimal(v);
+            assert_eq!(a.finish(), hash_str(7, &format!("{v}")), "v = {v}");
+        }
     }
 
     #[test]

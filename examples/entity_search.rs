@@ -83,7 +83,7 @@ fn main() {
             },
         };
         let prompt = render_question(&question, Default::default());
-        let q = Query { prompt, question: &question, setting: PromptSetting::ZeroShot };
+        let q = Query { prompt: &prompt, question: &question, setting: PromptSetting::ZeroShot };
         if parse_tf(&model.answer(&q)) == ParsedAnswer::Yes {
             hits.push(item);
         }

@@ -53,7 +53,7 @@ fn main() {
             },
         };
         let prompt = render_question(&question, Default::default());
-        let query = Query { prompt: prompt.clone(), question: &question, setting: PromptSetting::ZeroShot };
+        let query = Query { prompt: &prompt, question: &question, setting: PromptSetting::ZeroShot };
         let response = model.answer(&query);
         let outcome = score(&question, parse_tf(&response));
         println!("L{} Q: {prompt}", question.child_level);

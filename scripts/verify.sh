@@ -39,4 +39,18 @@ export CARGO_HOME="$EMPTY_CARGO_HOME"
 cargo build --release --offline
 cargo test -q --offline
 
+# 3. Bench plumbing smoke: the committed baseline must parse and pass
+#    shape validation with the in-tree JSON crate, and a quick-mode
+#    bench run must produce a file that does too. Quick mode shrinks
+#    the workload so this costs seconds, not a real measurement.
+echo "==> bench smoke (TAXOGLIMPSE_BENCH_QUICK)"
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_eval -- \
+    --check BENCH_eval.json
+SMOKE_OUT="$(mktemp)"
+TAXOGLIMPSE_BENCH_QUICK=1 cargo run --release --offline -q \
+    -p taxoglimpse-bench --bin bench_eval -- --label "verify smoke" --out "$SMOKE_OUT"
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_eval -- \
+    --check "$SMOKE_OUT"
+rm -f "$SMOKE_OUT"
+
 echo "==> verify OK: hermetic tier-1 passed"

@@ -242,7 +242,7 @@ fn cmd_ask(flags: &Flags) -> Result<String, String> {
         },
     };
     let prompt = render_question(&question, Default::default());
-    let query = Query { prompt: prompt.clone(), question: &question, setting: flags.setting };
+    let query = Query { prompt: &prompt, question: &question, setting: flags.setting };
     let response = model.answer(&query);
     Ok(format!("Q: {prompt}\n{}: {response}\nparsed: {:?}", model.id(), parse_tf(&response)))
 }

@@ -41,7 +41,7 @@ fn model_answers_are_stable_per_question() {
     let model = zoo.get(ModelId::Claude3).unwrap();
     for q in d.questions() {
         let prompt = taxoglimpse::core::templates::render_question(q, Default::default());
-        let query = Query { prompt, question: q, setting: PromptSetting::ZeroShot };
+        let query = Query { prompt: &prompt, question: q, setting: PromptSetting::ZeroShot };
         let first = model.answer(&query);
         for _ in 0..3 {
             assert_eq!(model.answer(&query), first);

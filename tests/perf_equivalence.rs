@@ -1,0 +1,153 @@
+//! Equivalence guarantees for the allocation-free hot path and the
+//! chunked grid scheduler: every fast path must produce byte-identical
+//! results to its straightforward counterpart.
+//!
+//! Three groups, matching the three tentpole optimisations:
+//! * chunked-parallel [`GridRunner`] output equals a sequential
+//!   [`Evaluator`] pass, across thread counts and chunk sizes;
+//! * cached-prefix prompt rendering equals fresh whole-prompt renders
+//!   for every `PromptSetting × TemplateVariant`;
+//! * the [`SimilarityCache`] interner equals direct
+//!   `trigram_similarity` on a fuzz-style name corpus.
+
+use taxoglimpse::core::dataset::Dataset;
+use taxoglimpse::core::eval::{EvalConfig, Evaluator};
+use taxoglimpse::core::grid::GridRunner;
+use taxoglimpse::core::model::LanguageModel;
+use taxoglimpse::core::prompts::{render_prefix, render_prompt, render_prompt_into};
+use taxoglimpse::core::templates::TemplateVariant;
+use taxoglimpse::llm::knowledge::trigram_similarity;
+use taxoglimpse::llm::similarity::SimilarityCache;
+use taxoglimpse::prelude::*;
+
+fn datasets() -> Vec<Dataset> {
+    [
+        (TaxonomyKind::Ebay, QuestionDataset::Hard),
+        (TaxonomyKind::Ncbi, QuestionDataset::Easy),
+        (TaxonomyKind::Oae, QuestionDataset::Mcq),
+    ]
+    .into_iter()
+    .map(|(kind, flavor)| {
+        let scale = if kind == TaxonomyKind::Ncbi { 0.01 } else { 0.3 };
+        let t = generate(kind, GenOptions { seed: 17, scale }).unwrap();
+        DatasetBuilder::new(&t, kind, 17).sample_cap(Some(60)).build(flavor).unwrap()
+    })
+    .collect()
+}
+
+/// Chunked-parallel grid output must be byte-identical to a plain
+/// sequential evaluator pass — for every thread count and chunk size,
+/// including a chunk of 1 and a chunk larger than any dataset.
+#[test]
+fn chunked_parallel_grid_is_byte_identical_to_sequential() {
+    let ds = datasets();
+    let dataset_refs: Vec<&Dataset> = ds.iter().collect();
+    let zoo = ModelZoo::default_zoo();
+    let gpt4 = zoo.get(ModelId::Gpt4).unwrap();
+    let flan = zoo.get(ModelId::FlanT5_3b).unwrap();
+    let models: Vec<&dyn LanguageModel> = vec![gpt4.as_ref(), flan.as_ref()];
+
+    for setting in PromptSetting::ALL {
+        let config = EvalConfig { setting, ..Default::default() };
+        let evaluator = Evaluator::new(config);
+        let sequential: Vec<String> = models
+            .iter()
+            .flat_map(|m| dataset_refs.iter().map(|d| {
+                taxoglimpse::json::to_string(&evaluator.run(*m, d)).unwrap()
+            }))
+            .collect();
+
+        for threads in [1usize, 2, 8] {
+            for chunk in [1usize, 7, usize::MAX] {
+                let reports = GridRunner::new(config, threads)
+                    .with_chunk_size(chunk)
+                    .run_cross(&models, &dataset_refs);
+                let rendered: Vec<String> = reports
+                    .iter()
+                    .map(|r| taxoglimpse::json::to_string(r).unwrap())
+                    .collect();
+                assert_eq!(
+                    rendered, sequential,
+                    "setting {setting}, threads {threads}, chunk {chunk}"
+                );
+            }
+        }
+    }
+}
+
+/// Prompts assembled from a cached per-level prefix must equal a fresh
+/// whole-prompt render for every setting × template variant.
+#[test]
+fn cached_prefix_prompts_equal_fresh_renders() {
+    let ds = datasets();
+    for dataset in &ds {
+        for setting in PromptSetting::ALL {
+            for variant in TemplateVariant::ALL {
+                for slice in &dataset.levels {
+                    let prefix =
+                        render_prefix(setting, variant, &slice.exemplars, PromptSetting::SHOTS);
+                    // The buffer is deliberately reused across questions
+                    // and (dirty) across settings — render_prompt_into
+                    // must fully overwrite it.
+                    let mut buf = String::from("stale content from a previous query");
+                    for question in &slice.questions {
+                        render_prompt_into(question, setting, variant, &prefix, &mut buf);
+                        let fresh = render_prompt(question, setting, variant, &slice.exemplars);
+                        assert_eq!(buf, fresh, "{setting} {variant:?}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The interner must agree exactly with the direct trigram similarity
+/// on a fuzz-style corpus: real generated taxonomy names (repeated, so
+/// the cached path is actually exercised) plus adversarial edge cases.
+#[test]
+fn similarity_cache_matches_direct_on_fuzz_corpus() {
+    let mut corpus: Vec<String> = vec![
+        String::new(),
+        "a".into(),
+        "ab".into(),
+        "abc".into(),
+        "ABC".into(),
+        "aBc".into(),
+        "CARS".into(),
+        "cars".into(),
+        "Pencils".into(),
+        "pencil".into(),
+        "  spaced  name ".into(),
+        "naïve café names".into(),
+        "ends with s".into(),
+        "ENDS WITH S".into(),
+        "日本語 ラベル".into(),
+        "mixed 日本語 tail s".into(),
+    ];
+    let t = generate(TaxonomyKind::Amazon, GenOptions { seed: 23, scale: 0.1 }).unwrap();
+    let d = DatasetBuilder::new(&t, TaxonomyKind::Amazon, 23)
+        .sample_cap(Some(30))
+        .build(QuestionDataset::Hard)
+        .unwrap();
+    for q in d.questions().take(40) {
+        corpus.push(q.child.clone());
+        corpus.push(q.true_parent.clone());
+    }
+
+    let cache = SimilarityCache::new();
+    // Two passes: the first populates the interner, the second is served
+    // entirely from cached entries. Both must agree with the direct
+    // computation bit-for-bit (f64 equality, not approximate).
+    for _ in 0..2 {
+        for a in &corpus {
+            for b in &corpus {
+                let direct = trigram_similarity(a, b);
+                let cached = cache.similarity(a, b);
+                assert!(
+                    cached == direct,
+                    "similarity({a:?}, {b:?}): cached {cached} != direct {direct}"
+                );
+            }
+        }
+    }
+}

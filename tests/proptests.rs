@@ -330,7 +330,7 @@ fn simulated_responses_always_parse() {
                 for q in &slice.questions {
                     let prompt = taxoglimpse::core::templates::render_question(q, Default::default());
                     let query = taxoglimpse::core::model::Query {
-                        prompt,
+                        prompt: &prompt,
                         question: q,
                         setting: PromptSetting::ZeroShot,
                     };
