@@ -17,6 +17,7 @@
 
 pub mod harness;
 
+// lint:allow(D001, bench-only cache: keyed lookups under a Mutex, never iterated, and bench output is not digested)
 use std::collections::HashMap;
 use std::sync::Mutex;
 use taxoglimpse_core::dataset::{Dataset, DatasetBuilder, QuestionDataset};
@@ -120,6 +121,7 @@ fn next_value(
 /// Cache of generated taxonomies so `run_all` builds each only once.
 #[derive(Default)]
 pub struct TaxonomyCache {
+    // lint:allow(D001, keyed get-or-insert only; iteration order never observed)
     inner: Mutex<HashMap<(TaxonomyKind, u64, u64), std::sync::Arc<Taxonomy>>>,
 }
 

@@ -119,7 +119,7 @@ impl<'t> CaseStudy<'t> {
                 classifications += 1;
                 match self.classify(model, &inst.name, concept) {
                     Outcome::Correct => tp += 1, // returned, truly under concept
-                    _ => fn_ += 1,               // withheld or abstained
+                    Outcome::Missed | Outcome::Wrong => fn_ += 1, // withheld or abstained
                 }
             }
             for inst in &sibling_products {
@@ -175,7 +175,7 @@ impl<'t> CaseStudy<'t> {
         match self.ask(model, &q) {
             ParsedAnswer::Yes => Outcome::Correct,
             ParsedAnswer::IDontKnow => Outcome::Missed,
-            _ => Outcome::Wrong,
+            ParsedAnswer::No | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed => Outcome::Wrong,
         }
     }
 
@@ -187,7 +187,7 @@ impl<'t> CaseStudy<'t> {
         match self.ask(model, &q) {
             ParsedAnswer::No => Outcome::Correct,
             ParsedAnswer::IDontKnow => Outcome::Missed,
-            _ => Outcome::Wrong,
+            ParsedAnswer::Yes | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed => Outcome::Wrong,
         }
     }
 }

@@ -215,7 +215,7 @@ impl<'t> DatasetBuilder<'t> {
         // ids are disjoint by construction, but names at a level need
         // not be unique, and a same-named exemplar would leak the answer
         // into the few-shot prompt. Over-sample and skip collisions.
-        let eval_names: std::collections::HashSet<&str> =
+        let eval_names: std::collections::BTreeSet<&str> =
             eval_children.iter().map(|&c| self.taxonomy.name(c)).collect();
         let exemplar_children: Vec<NodeId> = exemplar_pool
             .iter()

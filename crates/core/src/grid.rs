@@ -144,6 +144,14 @@ impl GridRunner {
         std::thread::scope(|scope| {
             for _ in 0..self.threads.min(units.len().max(1)) {
                 scope.spawn(|| loop {
+                    // Relaxed is sound here: the counter is the *only*
+                    // cross-thread coordination, and each fetch_add
+                    // hands out a distinct unit index (RMW atomicity
+                    // needs no ordering). Results are merged in unit
+                    // order after `scope` joins, and the join itself is
+                    // the happens-before edge that publishes every
+                    // worker's writes — so claim order cannot affect
+                    // the merged bytes.
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= units.len() {
                         break;

@@ -95,7 +95,9 @@ impl HybridTaxonomy {
         let verdict = match parse_tf(&model.answer(&query)) {
             ParsedAnswer::Yes => IsA::Yes,
             ParsedAnswer::No => IsA::No,
-            _ => IsA::Unknown,
+            ParsedAnswer::IDontKnow | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed => {
+                IsA::Unknown
+            }
         };
         (verdict, AnsweredBy::Model)
     }
@@ -134,7 +136,9 @@ impl HybridTaxonomy {
         let verdict = match parse_tf(&model.answer(&query)) {
             ParsedAnswer::Yes => IsA::Yes,
             ParsedAnswer::No => IsA::No,
-            _ => IsA::Unknown,
+            ParsedAnswer::IDontKnow | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed => {
+                IsA::Unknown
+            }
         };
         (verdict, AnsweredBy::Model)
     }

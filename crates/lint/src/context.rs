@@ -1,0 +1,368 @@
+//! Per-file lint context: lexed tokens plus the line-level facts every
+//! rule needs — which lines are inside `#[cfg(test)]` regions, which
+//! lines carry code vs. comments, and the parsed `lint:allow`
+//! annotations with their target lines.
+
+use std::collections::BTreeSet;
+
+use crate::lexer::{lex, Lexed, TokenKind};
+
+/// One parsed `// lint:allow(RULE[, reason])` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule id being suppressed (`D003`, …).
+    pub rule: String,
+    /// The free-text justification after the comma, if any.
+    pub reason: Option<String>,
+    /// Line the comment itself sits on.
+    pub comment_line: u32,
+    /// Line of code the suppression applies to: the comment's own line
+    /// for trailing comments, the next code line for own-line comments.
+    pub target_line: Option<u32>,
+}
+
+/// One source file prepared for rule evaluation.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative, `/`-separated path.
+    pub rel_path: String,
+    /// Token/comment streams.
+    pub lexed: Lexed,
+    /// Inclusive line ranges covered by `#[cfg(test)]` items.
+    pub test_ranges: Vec<(u32, u32)>,
+    /// Lines that carry at least one code token.
+    pub code_lines: BTreeSet<u32>,
+    /// Lines touched by a comment.
+    pub comment_lines: BTreeSet<u32>,
+    /// Parsed `lint:allow` annotations.
+    pub allows: Vec<Allow>,
+    /// `(line, detail)` for comments that mention `lint:allow` but do
+    /// not parse — surfaced as U001 so typos cannot silently disable a
+    /// suppression.
+    pub malformed_allows: Vec<(u32, String)>,
+    /// Raw source split into lines, for snippets.
+    lines: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lex and index `source`.
+    pub fn new(rel_path: &str, source: &str) -> SourceFile {
+        let lexed = lex(source);
+
+        let mut code_lines = BTreeSet::new();
+        for tok in &lexed.tokens {
+            code_lines.insert(tok.line);
+            code_lines.insert(tok.end_line);
+        }
+        let mut comment_lines = BTreeSet::new();
+        for c in &lexed.comments {
+            for line in c.line..=c.end_line {
+                comment_lines.insert(line);
+            }
+        }
+
+        let test_ranges = find_test_ranges(&lexed);
+        let (allows, malformed_allows) = parse_allows(&lexed, &code_lines);
+
+        SourceFile {
+            rel_path: rel_path.to_owned(),
+            lexed,
+            test_ranges,
+            code_lines,
+            comment_lines,
+            allows,
+            malformed_allows,
+            lines: source.lines().map(str::to_owned).collect(),
+        }
+    }
+
+    /// `true` iff `line` falls inside a `#[cfg(test)]` item.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_ranges.iter().any(|&(lo, hi)| (lo..=hi).contains(&line))
+    }
+
+    /// A trimmed, length-capped excerpt of `line` for findings.
+    pub fn snippet(&self, line: u32) -> String {
+        let raw = self
+            .lines
+            .get(line.saturating_sub(1) as usize)
+            .map(|s| s.trim())
+            .unwrap_or_default();
+        let mut out: String = raw.chars().take(96).collect();
+        if out.len() < raw.len() {
+            out.push('…');
+        }
+        out
+    }
+
+    /// `true` iff a comment touches `line`.
+    pub fn has_comment_on(&self, line: u32) -> bool {
+        self.comment_lines.contains(&line)
+    }
+
+    /// `true` iff a code token starts or ends on `line`.
+    pub fn has_code_on(&self, line: u32) -> bool {
+        self.code_lines.contains(&line)
+    }
+}
+
+/// Locate `#[cfg(test)]` attributes and the item they cover.
+fn find_test_ranges(lexed: &Lexed) -> Vec<(u32, u32)> {
+    let toks = &lexed.tokens;
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !matches_cfg_test(lexed, i) {
+            i += 1;
+            continue;
+        }
+        let start_line = toks[i].line;
+        let mut j = i + 7; // past `#` `[` `cfg` `(` `test` `)` `]`
+
+        // Skip any further attributes (`#[test]`, `#[allow(...)]`, …).
+        while j + 1 < toks.len() && toks[j].text == "#" && toks[j + 1].text == "[" {
+            j = skip_balanced(toks, j + 1);
+        }
+
+        // The item body: first `{` at delimiter depth 0 opens a region
+        // to its matching `}`; a `;` at depth 0 ends a braceless item
+        // (`mod tests;`).
+        let mut depth = 0i32;
+        let mut end_line = start_line;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.kind == TokenKind::Punct {
+                match t.text.as_str() {
+                    "(" | "[" => depth += 1,
+                    ")" | "]" => depth -= 1,
+                    "{" if depth == 0 => {
+                        j = skip_balanced(toks, j);
+                        end_line =
+                            toks.get(j.saturating_sub(1)).map(|t| t.end_line).unwrap_or(t.line);
+                        break;
+                    }
+                    ";" if depth == 0 => {
+                        end_line = t.line;
+                        j += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end_line = t.end_line;
+            j += 1;
+        }
+        ranges.push((start_line, end_line));
+        i = j.max(i + 1);
+    }
+    ranges
+}
+
+/// `true` iff the token sequence starting at `i` spells `#[cfg(test)]`.
+fn matches_cfg_test(lexed: &Lexed, i: usize) -> bool {
+    const PATTERN: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    lexed
+        .tokens
+        .get(i..i + PATTERN.len())
+        .is_some_and(|w| w.iter().zip(PATTERN).all(|(t, p)| t.text == p))
+}
+
+/// Given `open` pointing at `{`/`[`/`(`, return the index just past the
+/// matching closer (or the end of input if unbalanced).
+fn skip_balanced(toks: &[crate::lexer::Token], open: usize) -> usize {
+    let mut depth = 0i32;
+    let mut j = open;
+    while j < toks.len() {
+        if toks[j].kind == TokenKind::Punct {
+            match toks[j].text.as_str() {
+                "{" | "[" | "(" => depth += 1,
+                "}" | "]" | ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+/// Extract `lint:allow(...)` annotations from comments.
+fn parse_allows(
+    lexed: &Lexed,
+    code_lines: &BTreeSet<u32>,
+) -> (Vec<Allow>, Vec<(u32, String)>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    // Map a comment to the line of code it annotates: its own line when
+    // it trails code, otherwise the first code line after it.
+    let next_code_line = |after: u32| -> Option<u32> {
+        code_lines.range(after + 1..).next().copied()
+    };
+
+    for c in &lexed.comments {
+        // An annotation must be the comment's leading content (after
+        // the `//`/`/*`/doc markers); a prose *mention* of lint:allow
+        // elsewhere in a comment is not an annotation attempt.
+        let body = c.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = body.strip_prefix("lint:allow") else { continue };
+        let parsed = parse_allow_args(rest);
+        match parsed {
+            Ok((rule, reason)) => {
+                let trailing = code_lines.contains(&c.line);
+                let target_line =
+                    if trailing { Some(c.line) } else { next_code_line(c.end_line) };
+                allows.push(Allow { rule, reason, comment_line: c.line, target_line });
+            }
+            Err(detail) => malformed.push((c.line, detail)),
+        }
+    }
+    (allows, malformed)
+}
+
+/// Parse the `(RULE[, reason])` tail of an annotation.
+fn parse_allow_args(rest: &str) -> Result<(String, Option<String>), String> {
+    let rest = rest.trim_start();
+    let Some(inner) = rest.strip_prefix('(') else {
+        return Err("expected `(` after lint:allow".to_owned());
+    };
+    let Some(close) = inner.find(')') else {
+        return Err("unclosed lint:allow(...)".to_owned());
+    };
+    let body = &inner[..close];
+    let (rule, reason) = match body.split_once(',') {
+        Some((r, reason)) => (r.trim(), Some(reason.trim().to_owned())),
+        None => (body.trim(), None),
+    };
+    let valid_id = rule.len() == 4
+        && rule.starts_with(|c: char| c.is_ascii_uppercase())
+        && rule[1..].bytes().all(|b| b.is_ascii_digit());
+    if !valid_id {
+        return Err(format!("`{rule}` is not a rule id (expected e.g. D003)"));
+    }
+    if reason.as_deref().is_some_and(str::is_empty) {
+        return Err("empty reason after comma".to_owned());
+    }
+    Ok((rule.to_owned(), reason.map(|r| r.to_owned())))
+}
+
+/// One registered suppression plus whether it ever fired.
+#[derive(Debug)]
+struct AllowEntry {
+    file: String,
+    rule: String,
+    target_line: Option<u32>,
+    comment_line: u32,
+    used: bool,
+}
+
+/// Tracks which allows matched a finding, so leftovers become U001.
+#[derive(Debug, Default)]
+pub struct AllowLedger {
+    entries: Vec<AllowEntry>,
+}
+
+impl AllowLedger {
+    /// Register every allow in `file` as initially unused.
+    pub fn register(&mut self, file: &SourceFile) {
+        for a in &file.allows {
+            self.entries.push(AllowEntry {
+                file: file.rel_path.clone(),
+                rule: a.rule.clone(),
+                target_line: a.target_line,
+                comment_line: a.comment_line,
+                used: false,
+            });
+        }
+    }
+
+    /// If `rel_path` has an allow for `rule` covering `line`, consume
+    /// it and return `true` (the finding is suppressed).
+    pub fn try_suppress(&mut self, rel_path: &str, rule: &str, line: u32) -> bool {
+        let mut hit = false;
+        for e in &mut self.entries {
+            if e.file == rel_path && e.rule == rule && e.target_line == Some(line) {
+                e.used = true;
+                hit = true;
+            }
+        }
+        hit
+    }
+
+    /// Number of allows that suppressed at least one finding.
+    pub fn used_count(&self) -> usize {
+        self.entries.iter().filter(|e| e.used).count()
+    }
+
+    /// `(file, comment_line, rule)` for allows that never fired.
+    pub fn unused(&self) -> impl Iterator<Item = (&str, u32, &str)> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used)
+            .map(|e| (e.file.as_str(), e.comment_line, e.rule.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_module_region_covers_its_braces() {
+        let src = "fn lib_code() {}\n\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = SourceFile::new("x.rs", src);
+        assert_eq!(f.test_ranges, vec![(3, 6)]);
+        assert!(!f.in_test(1));
+        assert!(f.in_test(5));
+        assert!(!f.in_test(7));
+    }
+
+    #[test]
+    fn cfg_test_single_fn_with_extra_attributes() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() {\n    body();\n}\nfn real() {}\n";
+        let f = SourceFile::new("x.rs", src);
+        assert_eq!(f.test_ranges, vec![(1, 5)]);
+        assert!(!f.in_test(6));
+    }
+
+    #[test]
+    fn cfg_test_braceless_module() {
+        let f = SourceFile::new("x.rs", "#[cfg(test)]\nmod tests;\nfn real() {}\n");
+        assert_eq!(f.test_ranges, vec![(1, 2)]);
+    }
+
+    #[test]
+    fn allow_targets_trailing_and_own_line() {
+        let src = "let a = risky(); // lint:allow(D003, cache lock)\n// lint:allow(D001, hot path)\nlet b = more();\n";
+        let f = SourceFile::new("x.rs", src);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].rule, "D003");
+        assert_eq!(f.allows[0].target_line, Some(1));
+        assert_eq!(f.allows[0].reason.as_deref(), Some("cache lock"));
+        assert_eq!(f.allows[1].rule, "D001");
+        assert_eq!(f.allows[1].target_line, Some(3));
+    }
+
+    #[test]
+    fn malformed_allows_are_reported() {
+        let src = "// lint:allow D003 forgot parens\nlet a = 1;\n// lint:allow(D3)\nlet b = 2;\n";
+        let f = SourceFile::new("x.rs", src);
+        assert!(f.allows.is_empty());
+        assert_eq!(f.malformed_allows.len(), 2);
+    }
+
+    #[test]
+    fn ledger_tracks_usage() {
+        let src = "let a = x.unwrap(); // lint:allow(D003, demo)\nlet b = 1; // lint:allow(D001, never fires)\n";
+        let f = SourceFile::new("x.rs", src);
+        let mut ledger = AllowLedger::default();
+        ledger.register(&f);
+        assert!(ledger.try_suppress("x.rs", "D003", 1));
+        assert!(!ledger.try_suppress("x.rs", "D002", 1));
+        assert_eq!(ledger.used_count(), 1);
+        assert_eq!(ledger.unused().count(), 1);
+    }
+}

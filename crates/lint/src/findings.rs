@@ -1,0 +1,286 @@
+//! Finding and report types, their JSON encoding, the human-readable
+//! table, and schema validation for `--validate`.
+
+use std::fmt;
+
+use taxoglimpse_json::{Json, JsonError};
+
+/// Report schema version written into the JSON document; bump on any
+/// incompatible change to the finding fields.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Every rule the engine knows, as `(id, summary)` pairs. `U001` is
+/// the meta-rule for unused or malformed `lint:allow` annotations and
+/// cannot itself be suppressed.
+pub const RULES: &[(&str, &str)] = &[
+    ("D001", "no HashMap/HashSet in deterministic (serialized/digested) paths; use BTreeMap/BTreeSet or sort at emission"),
+    ("D002", "no SystemTime::now/Instant::now/RandomState entropy outside crates/bench and #[cfg(test)]"),
+    ("D003", "no unwrap()/short expect() in library code without lint:allow(D003, reason)"),
+    ("C001", "atomic Ordering / unsafe / static mut requires an adjacent justification comment"),
+    ("M001", "no bare `_` wildcard arm over project enums in scoring/parse matches"),
+    ("U001", "lint:allow annotation is unused or malformed"),
+];
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: u32,
+    /// Rule id (`D001`…).
+    pub rule: &'static str,
+    /// Human explanation of this particular occurrence.
+    pub message: String,
+    /// Short source excerpt around the offending token.
+    pub snippet: String,
+}
+
+/// The result of linting a set of sources.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// All findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of `lint:allow` annotations that suppressed a finding.
+    pub allows_used: usize,
+}
+
+impl LintReport {
+    /// Canonical ordering so output bytes are stable run-to-run.
+    pub fn sort(&mut self) {
+        self.findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+    }
+
+    /// The machine-readable document `--json` writes.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("schema_version", Json::U64(SCHEMA_VERSION)),
+            (
+                "rules",
+                Json::Arr(
+                    RULES
+                        .iter()
+                        .map(|(id, summary)| {
+                            Json::obj(vec![
+                                ("id", Json::Str((*id).to_owned())),
+                                ("summary", Json::Str((*summary).to_owned())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("files_scanned", Json::U64(self.files_scanned as u64)),
+            ("allows_used", Json::U64(self.allows_used as u64)),
+            (
+                "findings",
+                Json::Arr(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            Json::obj(vec![
+                                ("file", Json::Str(f.file.clone())),
+                                ("line", Json::U64(u64::from(f.line))),
+                                ("rule", Json::Str(f.rule.to_owned())),
+                                ("message", Json::Str(f.message.clone())),
+                                ("snippet", Json::Str(f.snippet.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// The human-readable table printed to stdout.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if self.findings.is_empty() {
+            out.push_str(&format!(
+                "lint: clean — {} files scanned, {} allow(s) used\n",
+                self.files_scanned, self.allows_used
+            ));
+            return out;
+        }
+        let loc_width = self
+            .findings
+            .iter()
+            .map(|f| f.file.len() + 1 + digits(f.line))
+            .max()
+            .unwrap_or(8)
+            .max("location".len());
+        out.push_str(&format!("{:<loc_width$}  {:<4}  finding\n", "location", "rule"));
+        out.push_str(&format!("{:-<loc_width$}  {:-<4}  {:-<40}\n", "", "", ""));
+        for f in &self.findings {
+            let loc = format!("{}:{}", f.file, f.line);
+            out.push_str(&format!("{loc:<loc_width$}  {:<4}  {}\n", f.rule, f.message));
+            if !f.snippet.is_empty() {
+                out.push_str(&format!("{:<loc_width$}        | {}\n", "", f.snippet));
+            }
+        }
+        out.push_str(&format!(
+            "\nlint: {} finding(s) in {} files scanned, {} allow(s) used\n",
+            self.findings.len(),
+            self.files_scanned,
+            self.allows_used
+        ));
+        out
+    }
+}
+
+fn digits(mut n: u32) -> usize {
+    let mut d = 1;
+    while n >= 10 {
+        n /= 10;
+        d += 1;
+    }
+    d
+}
+
+/// A schema violation reported by [`validate_report`].
+#[derive(Debug)]
+pub struct SchemaError(pub String);
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<JsonError> for SchemaError {
+    fn from(e: JsonError) -> SchemaError {
+        SchemaError(e.to_string())
+    }
+}
+
+/// Check that `doc` is a well-formed lint report (the shape
+/// [`LintReport::to_json`] writes). Returns the number of findings.
+pub fn validate_report(doc: &Json) -> Result<usize, SchemaError> {
+    let version = doc
+        .field("schema_version")?
+        .as_u64()
+        .ok_or_else(|| SchemaError("schema_version must be a non-negative integer".into()))?;
+    if version != SCHEMA_VERSION {
+        return Err(SchemaError(format!(
+            "schema_version {version} unsupported (expected {SCHEMA_VERSION})"
+        )));
+    }
+    let rules = doc
+        .field("rules")?
+        .as_arr()
+        .ok_or_else(|| SchemaError("rules must be an array".into()))?;
+    for (i, rule) in rules.iter().enumerate() {
+        for key in ["id", "summary"] {
+            if rule.get(key).and_then(Json::as_str).is_none() {
+                return Err(SchemaError(format!("rules[{i}].{key} must be a string")));
+            }
+        }
+    }
+    for key in ["files_scanned", "allows_used"] {
+        if doc.field(key)?.as_u64().is_none() {
+            return Err(SchemaError(format!("{key} must be a non-negative integer")));
+        }
+    }
+    let findings = doc
+        .field("findings")?
+        .as_arr()
+        .ok_or_else(|| SchemaError("findings must be an array".into()))?;
+    let known: Vec<&str> = RULES.iter().map(|(id, _)| *id).collect();
+    for (i, f) in findings.iter().enumerate() {
+        for key in ["file", "rule", "message", "snippet"] {
+            if f.get(key).and_then(Json::as_str).is_none() {
+                return Err(SchemaError(format!("findings[{i}].{key} must be a string")));
+            }
+        }
+        if f.field("line")?.as_u64().is_none() {
+            return Err(SchemaError(format!("findings[{i}].line must be a non-negative integer")));
+        }
+        let rule = f.get("rule").and_then(Json::as_str).unwrap_or_default();
+        if !known.contains(&rule) {
+            return Err(SchemaError(format!("findings[{i}].rule `{rule}` is not a known rule")));
+        }
+    }
+    Ok(findings.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> LintReport {
+        LintReport {
+            findings: vec![Finding {
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                rule: "D001",
+                message: "HashMap iterated into serialized output".into(),
+                snippet: "for (k, v) in map.iter() {".into(),
+            }],
+            files_scanned: 3,
+            allows_used: 1,
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_validates() {
+        let doc = sample_report().to_json();
+        let text = doc.render_pretty();
+        let parsed = taxoglimpse_json::from_str_value(&text).expect("report JSON reparses");
+        assert_eq!(validate_report(&parsed).expect("schema-valid"), 1);
+    }
+
+    #[test]
+    fn validation_rejects_bad_shapes() {
+        let mut doc = sample_report().to_json();
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "schema_version" {
+                    *v = Json::U64(99);
+                }
+            }
+        }
+        assert!(validate_report(&doc).is_err());
+
+        let empty = Json::obj(vec![]);
+        assert!(validate_report(&empty).is_err());
+
+        let mut bad_rule = sample_report();
+        bad_rule.findings[0].rule = "Z999";
+        assert!(validate_report(&bad_rule.to_json()).is_err());
+    }
+
+    #[test]
+    fn table_mentions_every_finding() {
+        let table = sample_report().render_table();
+        assert!(table.contains("crates/x/src/lib.rs:7"));
+        assert!(table.contains("D001"));
+        assert!(table.contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn sort_orders_by_file_line_rule() {
+        let mk = |file: &str, line: u32, rule: &'static str| Finding {
+            file: file.into(),
+            line,
+            rule,
+            message: String::new(),
+            snippet: String::new(),
+        };
+        let mut report = LintReport {
+            findings: vec![mk("b.rs", 1, "D001"), mk("a.rs", 9, "M001"), mk("a.rs", 9, "D003")],
+            files_scanned: 2,
+            allows_used: 0,
+        };
+        report.sort();
+        let order: Vec<(String, u32, &str)> =
+            report.findings.iter().map(|f| (f.file.clone(), f.line, f.rule)).collect();
+        assert_eq!(order, [
+            ("a.rs".to_owned(), 9, "D003"),
+            ("a.rs".to_owned(), 9, "M001"),
+            ("b.rs".to_owned(), 1, "D001"),
+        ]);
+    }
+}

@@ -1,0 +1,493 @@
+//! A real Rust source tokenizer.
+//!
+//! The rules in this crate must never fire on a `HashMap` spelled
+//! inside a string literal or an `unwrap()` mentioned in a doc comment,
+//! so the source is lexed properly instead of grepped: line and
+//! (nested) block comments, plain and raw strings with arbitrary `#`
+//! fences, byte strings, char literals vs lifetimes, numbers with
+//! prefixes/suffixes, identifiers (including raw `r#ident`), and the
+//! compound punctuation the rule engine cares about (`::`, `=>`, `->`).
+//!
+//! The lexer is intentionally lossy where the rules do not look:
+//! it does not distinguish keywords from identifiers and collapses all
+//! remaining punctuation to single characters. It never fails — any
+//! byte it cannot classify becomes a one-byte punct token — so a
+//! half-edited file still lints instead of aborting the whole run.
+
+/// What kind of lexeme a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `match`, `unsafe`, `_`).
+    Ident,
+    /// Punctuation; compound `::`, `=>`, `->` are single tokens.
+    Punct,
+    /// String literal of any flavor (plain, raw, byte, C).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (any base, with suffix).
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One code token (comments are reported separately).
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The lexeme kind.
+    pub kind: TokenKind,
+    /// Raw source text of the token (quotes/fences included).
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+    /// 1-based line the token ends on (multi-line strings).
+    pub end_line: u32,
+}
+
+/// One comment (line, doc, or block), kept out of the token stream so
+/// rules can use comments for `lint:allow` and justification checks
+/// without ever matching their contents as code.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text including the `//`/`/*` markers.
+    pub text: String,
+    /// 1-based start line.
+    pub line: u32,
+    /// 1-based end line (block comments).
+    pub end_line: u32,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub tokens: Vec<Token>,
+    /// Comments, in source order.
+    pub comments: Vec<Comment>,
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `source` into tokens and comments. Infallible by design.
+pub fn lex(source: &str) -> Lexed {
+    let mut c = Cursor { bytes: source.as_bytes(), pos: 0, line: 1 };
+    let mut out = Lexed::default();
+
+    while let Some(b) = c.peek() {
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                c.bump();
+            }
+            b'/' if c.peek_at(1) == Some(b'/') => line_comment(&mut c, &mut out),
+            b'/' if c.peek_at(1) == Some(b'*') => block_comment(&mut c, &mut out),
+            b'"' => string_literal(&mut c, &mut out, 0),
+            b'\'' => char_or_lifetime(&mut c, &mut out),
+            _ if b.is_ascii_digit() => number(&mut c, &mut out),
+            _ if is_ident_start(b) => ident_or_prefixed_literal(&mut c, &mut out),
+            _ => punct(&mut c, &mut out),
+        }
+    }
+    out
+}
+
+fn line_comment(c: &mut Cursor<'_>, out: &mut Lexed) {
+    let start = c.pos;
+    let line = c.line;
+    while let Some(b) = c.peek() {
+        if b == b'\n' {
+            break;
+        }
+        c.bump();
+    }
+    out.comments.push(Comment {
+        text: String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned(),
+        line,
+        end_line: line,
+    });
+}
+
+fn block_comment(c: &mut Cursor<'_>, out: &mut Lexed) {
+    let start = c.pos;
+    let line = c.line;
+    c.bump(); // '/'
+    c.bump(); // '*'
+    let mut depth = 1usize;
+    while depth > 0 {
+        match (c.peek(), c.peek_at(1)) {
+            (Some(b'/'), Some(b'*')) => {
+                depth += 1;
+                c.bump();
+                c.bump();
+            }
+            (Some(b'*'), Some(b'/')) => {
+                depth -= 1;
+                c.bump();
+                c.bump();
+            }
+            (Some(_), _) => {
+                c.bump();
+            }
+            (None, _) => break, // unterminated: swallow to EOF
+        }
+    }
+    out.comments.push(Comment {
+        text: String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned(),
+        line,
+        end_line: c.line,
+    });
+}
+
+/// A plain (escaped) string literal; `fence` is the number of leading
+/// `#` characters for raw strings (0 = escape processing active).
+fn string_literal(c: &mut Cursor<'_>, out: &mut Lexed, fence: usize) {
+    let start = c.pos;
+    let line = c.line;
+    c.bump(); // opening quote
+    loop {
+        match c.peek() {
+            None => break, // unterminated
+            Some(b'\\') if fence == 0 => {
+                c.bump();
+                c.bump(); // whatever is escaped, incl. \" and \\
+            }
+            Some(b'"') => {
+                c.bump();
+                if fence == 0 {
+                    break;
+                }
+                // Raw string: only a quote followed by `fence` hashes ends it.
+                let mut hashes = 0usize;
+                while hashes < fence && c.peek() == Some(b'#') {
+                    c.bump();
+                    hashes += 1;
+                }
+                if hashes == fence {
+                    break;
+                }
+            }
+            Some(_) => {
+                c.bump();
+            }
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Str,
+        text: String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned(),
+        line,
+        end_line: c.line,
+    });
+}
+
+/// Disambiguate `'a'` / `'\n'` (char) from `'a` / `'static` (lifetime).
+fn char_or_lifetime(c: &mut Cursor<'_>, out: &mut Lexed) {
+    let start = c.pos;
+    let line = c.line;
+    let next = c.peek_at(1);
+    let is_char = match next {
+        Some(b'\\') => true,
+        Some(b) if is_ident_continue(b) => c.peek_at(2) == Some(b'\''),
+        Some(_) => true, // '"' ')' etc. — punctuation char literal
+        None => false,
+    };
+    c.bump(); // the quote
+    if is_char {
+        match c.peek() {
+            Some(b'\\') => {
+                c.bump();
+                c.bump(); // escaped char, incl. \' and \\
+                // \u{...} spans to the closing brace
+                while c.peek().is_some() && c.peek() != Some(b'\'') {
+                    c.bump();
+                }
+            }
+            _ => {
+                c.bump();
+            }
+        }
+        if c.peek() == Some(b'\'') {
+            c.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Char,
+            text: String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned(),
+            line,
+            end_line: c.line,
+        });
+    } else {
+        while matches!(c.peek(), Some(b) if is_ident_continue(b)) {
+            c.bump();
+        }
+        out.tokens.push(Token {
+            kind: TokenKind::Lifetime,
+            text: String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned(),
+            line,
+            end_line: c.line,
+        });
+    }
+}
+
+fn number(c: &mut Cursor<'_>, out: &mut Lexed) {
+    let start = c.pos;
+    let line = c.line;
+    let radix_prefixed = c.peek() == Some(b'0')
+        && matches!(c.peek_at(1), Some(b'x' | b'X' | b'b' | b'B' | b'o' | b'O'));
+    let mut prev = 0u8;
+    loop {
+        match c.peek() {
+            Some(b) if is_ident_continue(b) => {
+                prev = b;
+                c.bump();
+            }
+            // Fractional part: a dot followed by a digit (so `1.max(2)`
+            // keeps its method call).
+            Some(b'.') if matches!(c.peek_at(1), Some(d) if d.is_ascii_digit()) => {
+                prev = b'.';
+                c.bump();
+            }
+            // Exponent sign, only in decimal literals.
+            Some(b'+' | b'-')
+                if !radix_prefixed
+                    && matches!(prev, b'e' | b'E')
+                    && matches!(c.peek_at(1), Some(d) if d.is_ascii_digit()) =>
+            {
+                prev = b'+';
+                c.bump();
+            }
+            _ => break,
+        }
+    }
+    out.tokens.push(Token {
+        kind: TokenKind::Num,
+        text: String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned(),
+        line,
+        end_line: line,
+    });
+}
+
+/// An identifier — or, when the identifier is a literal prefix (`r`,
+/// `b`, `br`, `c`, `cr`) directly followed by a quote or raw fence, the
+/// prefixed literal it introduces.
+fn ident_or_prefixed_literal(c: &mut Cursor<'_>, out: &mut Lexed) {
+    let start = c.pos;
+    let line = c.line;
+    while matches!(c.peek(), Some(b) if is_ident_continue(b)) {
+        c.bump();
+    }
+    let ident = String::from_utf8_lossy(&c.bytes[start..c.pos]).into_owned();
+
+    let raw_capable = matches!(ident.as_str(), "r" | "br" | "cr");
+    let quote_capable = raw_capable || matches!(ident.as_str(), "b" | "c");
+
+    // `b'x'` — byte char literal.
+    if ident == "b" && c.peek() == Some(b'\'') {
+        // Rewind bookkeeping is unnecessary: delegate to the char lexer
+        // and extend its token text to include the prefix.
+        let before = out.tokens.len();
+        char_or_lifetime(c, out);
+        if let Some(tok) = out.tokens.get_mut(before) {
+            tok.text.insert(0, 'b');
+            tok.kind = TokenKind::Char;
+            tok.line = line;
+        }
+        return;
+    }
+
+    // `r"…"`, `b"…"`, `c"…"` — prefixed plain-or-raw string.
+    if quote_capable && c.peek() == Some(b'"') {
+        let before = out.tokens.len();
+        string_literal(c, out, 0);
+        if let Some(tok) = out.tokens.get_mut(before) {
+            tok.text.insert_str(0, &ident);
+            tok.line = line;
+        }
+        return;
+    }
+
+    // `r#"…"#` (any fence width) — or the raw identifier `r#ident`.
+    if raw_capable && c.peek() == Some(b'#') {
+        let mut fence = 0usize;
+        while c.peek_at(fence) == Some(b'#') {
+            fence += 1;
+        }
+        if c.peek_at(fence) == Some(b'"') {
+            for _ in 0..fence {
+                c.bump();
+            }
+            let before = out.tokens.len();
+            string_literal(c, out, fence);
+            if let Some(tok) = out.tokens.get_mut(before) {
+                tok.text.insert_str(0, &"#".repeat(fence));
+                tok.text.insert_str(0, &ident);
+                tok.line = line;
+            }
+            return;
+        }
+        if ident == "r" && matches!(c.peek_at(1), Some(b) if is_ident_start(b)) {
+            // Raw identifier `r#match`: consume `#` + ident.
+            c.bump();
+            let id_start = c.pos;
+            while matches!(c.peek(), Some(b) if is_ident_continue(b)) {
+                c.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text: String::from_utf8_lossy(&c.bytes[id_start..c.pos]).into_owned(),
+                line,
+                end_line: line,
+            });
+            return;
+        }
+    }
+
+    out.tokens.push(Token { kind: TokenKind::Ident, text: ident, line, end_line: line });
+}
+
+fn punct(c: &mut Cursor<'_>, out: &mut Lexed) {
+    let line = c.line;
+    let b = match c.bump() {
+        Some(b) => b,
+        None => return,
+    };
+    let compound = match (b, c.peek()) {
+        (b':', Some(b':')) => Some("::"),
+        (b'=', Some(b'>')) => Some("=>"),
+        (b'-', Some(b'>')) => Some("->"),
+        _ => None,
+    };
+    let text = match compound {
+        Some(s) => {
+            c.bump();
+            s.to_owned()
+        }
+        None => (b as char).to_string(),
+    };
+    out.tokens.push(Token { kind: TokenKind::Punct, text, line, end_line: line });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_and_comments_are_not_code() {
+        let src = r##"
+            let a = "HashMap in a string";
+            // HashMap in a line comment
+            /* HashMap in a /* nested */ block */
+            let b = r#"raw HashMap "quoted" inside"#;
+        "##;
+        let lexed = lex(src);
+        assert!(lexed.tokens.iter().all(|t| t.text != "HashMap"), "{:?}", lexed.tokens);
+        assert_eq!(lexed.comments.len(), 2);
+        let strs: Vec<&Token> =
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(strs[1].text.starts_with("r#\""));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        // The '"' char literal must not start a string that swallows the
+        // rest of the file.
+        let src = "let q = '\"'; let x = unwrap_me();";
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "'\"'"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "unwrap_me"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'static str { x }");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'static"));
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Char));
+    }
+
+    #[test]
+    fn escaped_chars_and_byte_literals() {
+        let toks = kinds(r"let a = '\''; let b = b'\n'; let c = '\u{41}';");
+        let chars: Vec<&String> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).map(|(_, t)| t).collect();
+        assert_eq!(chars.len(), 3, "{toks:?}");
+        assert_eq!(chars[1], "b'\\n'");
+    }
+
+    #[test]
+    fn compound_punct_is_single_tokens() {
+        let toks = kinds("a::b => c -> d >= e");
+        let puncts: Vec<&String> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Punct).map(|(_, t)| t).collect();
+        assert_eq!(puncts, ["::", "=>", "->", ">", "="]);
+    }
+
+    #[test]
+    fn numbers_with_prefixes_and_methods() {
+        let toks = kinds("0x5EED 1.5e-3 1.max(2) 42u64 1_000");
+        let nums: Vec<&String> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Num).map(|(_, t)| t).collect();
+        assert_eq!(nums, ["0x5EED", "1.5e-3", "1", "2", "42u64", "1_000"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "max"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "match"));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "let a = \"two\nlines\";\nlet b = 1;";
+        let lexed = lex(src);
+        let s = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind == TokenKind::Str)
+            .map(|t| (t.line, t.end_line));
+        assert_eq!(s, Some((1, 2)));
+        let b = lexed.tokens.iter().find(|t| t.text == "b").map(|t| t.line);
+        assert_eq!(b, Some(3));
+    }
+
+    #[test]
+    fn unterminated_input_does_not_loop() {
+        for src in ["\"open", "/* open", "'", "r#\"open"] {
+            let _ = lex(src); // must terminate
+        }
+    }
+}

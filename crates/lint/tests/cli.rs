@@ -1,0 +1,102 @@
+//! Exit-code contract of the `taxoglimpse-lint` binary:
+//! `0` clean/valid, `1` findings under `--check` (or invalid input
+//! under `--validate`), `2` usage errors.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn lint_bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_taxoglimpse-lint"))
+}
+
+/// A scratch workspace under the target dir, deleted on drop.
+struct ScratchTree {
+    root: PathBuf,
+}
+
+impl ScratchTree {
+    fn new(name: &str, lib_source: &str) -> ScratchTree {
+        let root = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+        let src = root.join("crates/fixture/src");
+        fs::create_dir_all(&src).expect("scratch dir is creatable");
+        fs::write(src.join("lib.rs"), lib_source).expect("scratch file is writable");
+        ScratchTree { root }
+    }
+}
+
+impl Drop for ScratchTree {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.root);
+    }
+}
+
+#[test]
+fn check_exits_zero_on_clean_tree_and_one_on_seeded_violation() {
+    let clean = ScratchTree::new("cli_clean", "fn ok() -> u32 { 1 }\n");
+    let status = lint_bin()
+        .args(["--workspace", "--check", "--root"])
+        .arg(&clean.root)
+        .status()
+        .expect("lint binary runs");
+    assert_eq!(status.code(), Some(0));
+
+    let seeded = ScratchTree::new(
+        "cli_seeded",
+        "use std::collections::HashMap;\nfn bad(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    let status = lint_bin()
+        .args(["--workspace", "--check", "--root"])
+        .arg(&seeded.root)
+        .status()
+        .expect("lint binary runs");
+    assert_eq!(status.code(), Some(1), "seeded D001+D003 must fail --check");
+}
+
+#[test]
+fn without_check_findings_do_not_fail_the_exit_code() {
+    let seeded = ScratchTree::new("cli_nocheck", "use std::collections::HashMap;\n");
+    let status = lint_bin()
+        .args(["--workspace", "--root"])
+        .arg(&seeded.root)
+        .status()
+        .expect("lint binary runs");
+    assert_eq!(status.code(), Some(0), "--check opts into the failing exit code");
+}
+
+#[test]
+fn json_output_round_trips_through_validate() {
+    let seeded = ScratchTree::new("cli_json", "use std::collections::HashMap;\n");
+    let json_path = seeded.root.join("LINT.json");
+    let status = lint_bin()
+        .args(["--workspace", "--root"])
+        .arg(&seeded.root)
+        .arg("--json")
+        .arg(&json_path)
+        .status()
+        .expect("lint binary runs");
+    assert_eq!(status.code(), Some(0));
+
+    let status = lint_bin()
+        .arg("--validate")
+        .arg(&json_path)
+        .status()
+        .expect("lint binary runs");
+    assert_eq!(status.code(), Some(0), "emitted JSON must validate");
+
+    fs::write(&json_path, "{\"schema_version\": 1}").expect("scratch file is writable");
+    let status = lint_bin()
+        .arg("--validate")
+        .arg(&json_path)
+        .status()
+        .expect("lint binary runs");
+    assert_eq!(status.code(), Some(1), "truncated document must fail --validate");
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [&["--no-such-flag"][..], &[][..]] {
+        let status = lint_bin().args(args).status().expect("lint binary runs");
+        assert_eq!(status.code(), Some(2), "args {args:?}");
+    }
+}

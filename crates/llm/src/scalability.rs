@@ -82,7 +82,7 @@ pub fn figure7_series() -> Vec<(ModelFamily, Vec<Footprint>)> {
                 .filter(|m| m.family() == family)
                 .filter_map(footprint)
                 .collect();
-            models.sort_by(|a, b| a.gpu_ram_gib.partial_cmp(&b.gpu_ram_gib).unwrap());
+            models.sort_by(|a, b| a.gpu_ram_gib.total_cmp(&b.gpu_ram_gib));
             (family, models)
         })
         .collect()

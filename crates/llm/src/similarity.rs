@@ -22,6 +22,7 @@
 //! taxonomy comes close) drop the cache and rebuild.
 
 use std::cell::RefCell;
+// lint:allow(D001, interner is lookup-only: entries are keyed by exact name and never iterated, so hash order cannot reach any output)
 use std::collections::HashMap;
 use std::rc::Rc;
 
@@ -67,6 +68,7 @@ impl NameEntry {
 /// Per-thread interner from name to [`NameEntry`].
 #[derive(Debug, Default)]
 pub struct SimilarityCache {
+    // lint:allow(D001, hot-path interner: O(1) probes beat BTreeMap here and the map is never iterated)
     map: RefCell<HashMap<Box<str>, Rc<NameEntry>>>,
 }
 

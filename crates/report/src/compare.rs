@@ -100,11 +100,11 @@ impl ComparisonSummary {
                 self.cells.iter().filter(|c| c.taxonomy == *taxonomy).collect();
             let best_measured = cells
                 .iter()
-                .max_by(|a, b| a.measured_a.partial_cmp(&b.measured_a).unwrap())
+                .max_by(|a, b| a.measured_a.total_cmp(&b.measured_a))
                 .map(|c| c.model);
             let best_paper = cells
                 .iter()
-                .max_by(|a, b| a.paper_a.partial_cmp(&b.paper_a).unwrap())
+                .max_by(|a, b| a.paper_a.total_cmp(&b.paper_a))
                 .map(|c| c.model);
             if best_measured == best_paper {
                 agree += 1;

@@ -49,9 +49,9 @@ pub fn evolve(taxonomy: &Taxonomy, kind: TaxonomyKind, config: DriftConfig, seed
 
     let mut shuffled = leaves.clone();
     shuffled.shuffle(&mut rng);
-    let removed: std::collections::HashSet<NodeId> =
+    let removed: std::collections::BTreeSet<NodeId> =
         shuffled.iter().copied().take(n_remove).collect();
-    let moved: std::collections::HashMap<NodeId, NodeId> = shuffled
+    let moved: std::collections::BTreeMap<NodeId, NodeId> = shuffled
         .iter()
         .copied()
         .skip(n_remove)
@@ -93,7 +93,7 @@ pub fn evolve(taxonomy: &Taxonomy, kind: TaxonomyKind, config: DriftConfig, seed
         if internal.is_empty() {
             break;
         }
-        let &parent_old = internal.choose(&mut rng).expect("nonempty");
+        let &parent_old = internal.choose(&mut rng).expect("internal node list checked non-empty above");
         let parent_new = remap[parent_old.index()].expect("filtered to kept nodes");
         let level = taxonomy.level(parent_old) + 1;
         let parent_name = taxonomy.name(parent_old).to_owned();

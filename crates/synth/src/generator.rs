@@ -5,7 +5,7 @@ use crate::names::Namer;
 use crate::profiles::TaxonomyProfile;
 use crate::rng::fork;
 use crate::shape::assign_children;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::fmt;
 use taxoglimpse_taxonomy::{NodeId, Taxonomy, TaxonomyBuilder};
 
@@ -71,7 +71,7 @@ pub fn generate_profile(profile: &TaxonomyProfile, options: GenOptions) -> Resul
     // Roots.
     let mut frontier: Vec<NodeId> = Vec::with_capacity(levels[0]);
     {
-        let mut seen = HashSet::with_capacity(levels[0]);
+        let mut seen = BTreeSet::new();
         for i in 0..levels[0] {
             let name = unique_name(&mut seen, |attempt| {
                 let base = namer.root(&mut name_rng, i);
@@ -91,7 +91,7 @@ pub fn generate_profile(profile: &TaxonomyProfile, options: GenOptions) -> Resul
             }
             let parent_id = frontier[parent_slot];
             let parent_name = b_name(&b, parent_id).to_owned();
-            let mut seen: HashSet<String> = HashSet::with_capacity(n_children);
+            let mut seen: BTreeSet<String> = BTreeSet::new();
             for sib in 0..n_children {
                 let name = unique_name(&mut seen, |attempt| {
                     let base = namer.child(&mut name_rng, level, &parent_name, sib);
@@ -108,7 +108,7 @@ pub fn generate_profile(profile: &TaxonomyProfile, options: GenOptions) -> Resul
 
 /// Retry `make` until it yields a name unseen among siblings, decorating
 /// with an attempt counter as a last resort.
-fn unique_name(seen: &mut HashSet<String>, mut make: impl FnMut(usize) -> String) -> String {
+fn unique_name(seen: &mut BTreeSet<String>, mut make: impl FnMut(usize) -> String) -> String {
     for attempt in 0..16 {
         let name = make(attempt);
         if seen.insert(name.clone()) {

@@ -83,7 +83,7 @@ impl InstanceGenerator {
 /// a singular-ish form of the category head noun, like real listings.
 fn product_title(rng: &mut SynthRng, category: &str, ordinal: usize) -> String {
     let brand = capitalize(&pseudo_word(rng, WordStyle::Plain, 2));
-    let modifier = pools::PRODUCT_MODS.choose(rng).expect("pool");
+    let modifier = pools::PRODUCT_MODS.choose(rng).expect("static name pools are non-empty");
     let head = category.split(' ').next_back().unwrap_or(category);
     let head = head.strip_suffix('s').unwrap_or(head);
     let series = if rng.gen_bool(0.5) {

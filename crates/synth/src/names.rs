@@ -29,12 +29,12 @@ impl Namer {
     pub fn root(&self, rng: &mut SynthRng, tree_index: usize) -> String {
         match self.regime {
             NameRegime::Shopping => {
-                let head = pools::PRODUCT_HEADS.choose(rng).expect("pool");
+                let head = pools::PRODUCT_HEADS.choose(rng).expect("static name pools are non-empty");
                 // Broad top-level category: bare head or an umbrella pair.
                 if rng.gen_bool(0.4) {
                     (*head).to_owned()
                 } else {
-                    let other = pools::PRODUCT_HEADS.choose(rng).expect("pool");
+                    let other = pools::PRODUCT_HEADS.choose(rng).expect("static name pools are non-empty");
                     format!("{head} & {other}")
                 }
             }
@@ -42,7 +42,7 @@ impl Namer {
                 const TOPS: &[&str] = &["Thing", "DataType", "Intangible", "Entity", "Resource"];
                 TOPS.get(tree_index)
                     .map(|s| (*s).to_owned())
-                    .unwrap_or_else(|| camel_case(&[pools::SCHEMA_STEMS.choose(rng).expect("pool")]))
+                    .unwrap_or_else(|| camel_case(&[pools::SCHEMA_STEMS.choose(rng).expect("static name pools are non-empty")]))
             }
             NameRegime::AcmCcs => {
                 const TOPS: &[&str] = &[
@@ -53,7 +53,7 @@ impl Namer {
                 ];
                 TOPS.get(tree_index)
                     .map(|s| (*s).to_owned())
-                    .unwrap_or_else(|| title_case(pools::CS_AREAS.choose(rng).expect("pool")))
+                    .unwrap_or_else(|| title_case(pools::CS_AREAS.choose(rng).expect("static name pools are non-empty")))
             }
             NameRegime::GeoNames => {
                 const CLASSES: &[(&str, &str)] = &[
@@ -77,12 +77,12 @@ impl Namer {
             NameRegime::Icd => {
                 // Chapter: letter range + description.
                 let letter = (b'A' + (tree_index % 26) as u8) as char;
-                let site = pools::BODY_SITES.choose(rng).expect("pool");
+                let site = pools::BODY_SITES.choose(rng).expect("static name pools are non-empty");
                 format!("{letter}00-{letter}99 Diseases of the {site} system")
             }
             NameRegime::Oae => {
-                let site = pools::BODY_SITES.choose(rng).expect("pool");
-                let stem = pools::DISEASE_STEMS.choose(rng).expect("pool");
+                let site = pools::BODY_SITES.choose(rng).expect("static name pools are non-empty");
+                let stem = pools::DISEASE_STEMS.choose(rng).expect("static name pools are non-empty");
                 format!("{site} {stem} AE")
             }
             NameRegime::Ncbi => {
@@ -99,37 +99,37 @@ impl Namer {
         match self.regime {
             NameRegime::Shopping => {
                 let reuse_head = rng.gen_bool(0.55);
-                let modifier = pools::PRODUCT_MODS.choose(rng).expect("pool");
+                let modifier = pools::PRODUCT_MODS.choose(rng).expect("static name pools are non-empty");
                 if reuse_head {
                     // Reuse the parent's head noun: moderate similarity.
                     let head = parent.split(' ').next_back().unwrap_or(parent);
                     format!("{modifier} {head}")
                 } else {
-                    let head = pools::PRODUCT_HEADS.choose(rng).expect("pool");
+                    let head = pools::PRODUCT_HEADS.choose(rng).expect("static name pools are non-empty");
                     format!("{modifier} {head}")
                 }
             }
             NameRegime::SchemaOrg => {
-                let stem = capitalize(pools::SCHEMA_STEMS.choose(rng).expect("pool"));
+                let stem = capitalize(pools::SCHEMA_STEMS.choose(rng).expect("static name pools are non-empty"));
                 if rng.gen_bool(0.5) {
                     // Extend the parent's trailing CamelWord: PaymentAction.
                     let tail = camel_tail(parent);
                     format!("{stem}{tail}")
                 } else {
-                    let m = capitalize(pools::SCHEMA_MODS.choose(rng).expect("pool"));
+                    let m = capitalize(pools::SCHEMA_MODS.choose(rng).expect("static name pools are non-empty"));
                     format!("{m}{stem}")
                 }
             }
             NameRegime::AcmCcs => {
-                let q = pools::CS_QUALIFIERS.choose(rng).expect("pool");
-                let a = pools::CS_AREAS.choose(rng).expect("pool");
+                let q = pools::CS_QUALIFIERS.choose(rng).expect("static name pools are non-empty");
+                let a = pools::CS_AREAS.choose(rng).expect("static name pools are non-empty");
                 capitalize(&format!("{q} {a}"))
             }
             NameRegime::GeoNames => {
                 let feature = if rng.gen_bool(0.35) {
-                    pools::GEO_ADMIN.choose(rng).expect("pool")
+                    pools::GEO_ADMIN.choose(rng).expect("static name pools are non-empty")
                 } else {
-                    pools::GEO_FEATURES.choose(rng).expect("pool")
+                    pools::GEO_FEATURES.choose(rng).expect("static name pools are non-empty")
                 };
                 let code: String = feature
                     .chars()
@@ -147,7 +147,7 @@ impl Namer {
                 let stem = capitalize(&pseudo_word(rng, WordStyle::Linguistic, syll));
                 if rng.gen_bool(0.25) && level < 5 {
                     const AREALS: &[&str] = &["North", "South", "East", "West", "Nuclear", "Core", "Inner", "Coastal", "Highland", "Central"];
-                    format!("{} {stem}", AREALS.choose(rng).expect("pool"))
+                    format!("{} {stem}", AREALS.choose(rng).expect("static name pools are non-empty"))
                 } else {
                     stem
                 }
@@ -160,15 +160,15 @@ impl Namer {
                     1 => {
                         let letter = parent_code.chars().next().unwrap_or('X');
                         let d = sibling_index % 10;
-                        let site = pools::BODY_SITES.choose(rng).expect("pool");
-                        let stem = pools::DISEASE_STEMS.choose(rng).expect("pool");
+                        let site = pools::BODY_SITES.choose(rng).expect("static name pools are non-empty");
+                        let stem = pools::DISEASE_STEMS.choose(rng).expect("static name pools are non-empty");
                         format!("{letter}{d}0-{letter}{d}9 {} {stem}", capitalize(site))
                     }
                     2 => {
                         let block = &parent_code[..2.min(parent_code.len())];
                         let d = sibling_index % 10;
-                        let stem = pools::DISEASE_STEMS.choose(rng).expect("pool");
-                        let q = pools::AE_QUALIFIERS.choose(rng).expect("pool");
+                        let stem = pools::DISEASE_STEMS.choose(rng).expect("static name pools are non-empty");
+                        let q = pools::AE_QUALIFIERS.choose(rng).expect("static name pools are non-empty");
                         format!("{block}{d} {} {stem}", capitalize(q))
                     }
                     _ => {
@@ -176,7 +176,7 @@ impl Namer {
                         let d = sibling_index % 10;
                         let cause = ["viral", "bacterial", "toxic", "traumatic", "congenital", "idiopathic", "autoimmune", "postprocedural"]
                             .choose(rng)
-                            .expect("pool");
+                            .expect("static name pools are non-empty");
                         let tail: String = parent
                             .split_once(' ')
                             .map(|(_, rest)| rest.to_ascii_lowercase())
@@ -188,7 +188,7 @@ impl Namer {
             NameRegime::Oae => {
                 // Embed the parent phrase: "<qualifier> <parent>".
                 let body = parent.strip_suffix(" AE").unwrap_or(parent);
-                let q = pools::AE_QUALIFIERS.choose(rng).expect("pool");
+                let q = pools::AE_QUALIFIERS.choose(rng).expect("static name pools are non-empty");
                 format!("{q} {body} AE")
             }
             NameRegime::Ncbi => match level {

@@ -52,7 +52,7 @@ impl PopularityModel {
         }
         let mut total = 0.0;
         for _ in 0..samples {
-            let &id = ids.choose(&mut rng).expect("nonempty");
+            let &id = ids.choose(&mut rng).expect("id list checked non-empty above");
             total += self.concept_hits(kind, taxonomy.name(id));
         }
         total / samples as f64

@@ -118,15 +118,15 @@ fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], BinaryError> {
 }
 
 fn get_u16(buf: &mut &[u8]) -> Result<u16, BinaryError> {
-    take(buf, 2).map(|b| u16::from_le_bytes(b.try_into().expect("2 bytes")))
+    take(buf, 2).map(|b| u16::from_le_bytes(b.try_into().expect("take() yielded exactly 2 bytes")))
 }
 
 fn get_u32(buf: &mut &[u8]) -> Result<u32, BinaryError> {
-    take(buf, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    take(buf, 4).map(|b| u32::from_le_bytes(b.try_into().expect("take() yielded exactly 4 bytes")))
 }
 
 fn get_u64(buf: &mut &[u8]) -> Result<u64, BinaryError> {
-    take(buf, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    take(buf, 8).map(|b| u64::from_le_bytes(b.try_into().expect("take() yielded exactly 8 bytes")))
 }
 
 fn get_string(buf: &mut &[u8]) -> Result<String, BinaryError> {

@@ -8,7 +8,7 @@
 
 use crate::arena::Taxonomy;
 use crate::node::NodeId;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// The difference between two taxonomy releases.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -59,12 +59,14 @@ pub fn path_of(taxonomy: &Taxonomy, id: NodeId) -> String {
 
 /// Compare two releases.
 pub fn diff(old: &Taxonomy, new: &Taxonomy) -> TaxonomyDiff {
-    let old_paths: HashSet<String> = old.ids().map(|id| path_of(old, id)).collect();
-    let new_paths: HashSet<String> = new.ids().map(|id| path_of(new, id)).collect();
+    // Ordered containers keep every derived list sorted for free, so
+    // the diff is deterministic without post-hoc sorting (D001).
+    let old_paths: BTreeSet<String> = old.ids().map(|id| path_of(old, id)).collect();
+    let new_paths: BTreeSet<String> = new.ids().map(|id| path_of(new, id)).collect();
 
     // Unique-name parent maps for move detection.
-    let parent_map = |t: &Taxonomy| -> HashMap<String, Option<String>> {
-        let mut counts: HashMap<&str, usize> = HashMap::new();
+    let parent_map = |t: &Taxonomy| -> BTreeMap<String, Option<String>> {
+        let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
         for id in t.ids() {
             *counts.entry(t.name(id)).or_default() += 1;
         }
@@ -81,6 +83,8 @@ pub fn diff(old: &Taxonomy, new: &Taxonomy) -> TaxonomyDiff {
     let old_parents = parent_map(old);
     let new_parents = parent_map(new);
 
+    // Iterating the BTreeMap yields names in order, and names are
+    // unique keys, so `moved` comes out already sorted.
     let mut moved = Vec::new();
     for (name, old_parent) in &old_parents {
         if let Some(new_parent) = new_parents.get(name) {
@@ -93,26 +97,25 @@ pub fn diff(old: &Taxonomy, new: &Taxonomy) -> TaxonomyDiff {
             }
         }
     }
-    moved.sort();
-    let moved_names: HashSet<&str> = moved.iter().map(|(n, _, _)| n.as_str()).collect();
+    let moved_names: BTreeSet<&str> = moved.iter().map(|(n, _, _)| n.as_str()).collect();
 
     // Added/removed by path, excluding paths explained by a move (the
     // moved node itself or any descendant of a moved node).
     let path_is_move_artifact = |path: &str| {
         path.split(" > ").any(|segment| moved_names.contains(segment))
     };
-    let mut added: Vec<String> = new_paths
+    // `BTreeSet::difference` iterates in ascending order, so `added`
+    // and `removed` are sorted by construction.
+    let added: Vec<String> = new_paths
         .difference(&old_paths)
         .filter(|p| !path_is_move_artifact(p))
         .cloned()
         .collect();
-    let mut removed: Vec<String> = old_paths
+    let removed: Vec<String> = old_paths
         .difference(&new_paths)
         .filter(|p| !path_is_move_artifact(p))
         .cloned()
         .collect();
-    added.sort();
-    removed.sort();
 
     TaxonomyDiff { added, removed, moved }
 }

@@ -10,7 +10,7 @@
 use crate::arena::Taxonomy;
 use crate::builder::TaxonomyBuilder;
 use crate::node::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Statistics of a merge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,8 +33,9 @@ pub fn merge(left: &Taxonomy, right: &Taxonomy) -> (Taxonomy, MergeStats) {
         left.len() + right.len(),
         16,
     );
-    // Map full path -> new node id.
-    let mut by_path: HashMap<String, NodeId> = HashMap::with_capacity(left.len());
+    // Map full path -> new node id (ordered for D001; lookup-only, but
+    // ordered-by-default keeps the invariant checkable mechanically).
+    let mut by_path: BTreeMap<String, NodeId> = BTreeMap::new();
 
     // 1. Copy the left taxonomy wholesale, level by level.
     let mut left_map: Vec<Option<NodeId>> = vec![None; left.len()];

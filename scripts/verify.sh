@@ -39,7 +39,20 @@ export CARGO_HOME="$EMPTY_CARGO_HOME"
 cargo build --release --offline
 cargo test -q --offline
 
-# 3. Bench plumbing smoke: the committed baseline must parse and pass
+# 3. Determinism & soundness lint. --check exits non-zero on any
+#    unsuppressed finding; the JSON report is then re-parsed and
+#    schema-validated by the linter itself (which uses the in-tree
+#    crates/json parser), so the machine-readable side of the contract
+#    is exercised on every run too.
+echo "==> determinism & soundness lint (--check)"
+LINT_OUT="$(mktemp)"
+cargo run --release --offline -q -p taxoglimpse-lint -- \
+    --workspace --check --json "$LINT_OUT"
+cargo run --release --offline -q -p taxoglimpse-lint -- \
+    --validate "$LINT_OUT"
+rm -f "$LINT_OUT"
+
+# 4. Bench plumbing smoke: the committed baseline must parse and pass
 #    shape validation with the in-tree JSON crate, and a quick-mode
 #    bench run must produce a file that does too. Quick mode shrinks
 #    the workload so this costs seconds, not a real measurement.

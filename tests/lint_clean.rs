@@ -1,0 +1,31 @@
+//! Tier-1 gate: the workspace must be lint-clean.
+//!
+//! This is the test-side half of the contract `scripts/verify.sh`
+//! enforces with `cargo run -p taxoglimpse-lint -- --workspace --check`:
+//! any unsuppressed D001/D002/D003/C001/M001 finding — or a
+//! `lint:allow` that no longer fires (U001) — fails `cargo test`.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_lint_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = taxoglimpse_lint::lint_workspace(root).expect("workspace sources readable");
+    assert!(
+        report.findings.is_empty(),
+        "lint findings in the workspace:\n{}",
+        report.render_table()
+    );
+    // Sanity: the walker actually visited the tree (root src + crates).
+    assert!(report.files_scanned > 50, "only {} files scanned", report.files_scanned);
+}
+
+#[test]
+fn lint_report_json_is_schema_valid() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = taxoglimpse_lint::lint_workspace(root).expect("workspace sources readable");
+    let text = report.to_json().render_pretty();
+    let doc = taxoglimpse::json::from_str_value(&text).expect("report JSON parses");
+    let n = taxoglimpse_lint::validate_report(&doc).expect("report JSON is schema-valid");
+    assert_eq!(n, report.findings.len());
+}
