@@ -12,6 +12,8 @@
 //! cargo run --release -p taxoglimpse-bench --bin ablation
 //! ```
 
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 use taxoglimpse_bench::{build_dataset, RunOptions, TaxonomyCache};
 use taxoglimpse_core::dataset::{DatasetBuilder, QuestionDataset};
 use taxoglimpse_core::domain::TaxonomyKind;
@@ -21,6 +23,34 @@ use taxoglimpse_llm::profile::ModelId;
 use taxoglimpse_llm::simulate::SimulatedLlm;
 use taxoglimpse_report::table::{fmt3, Table};
 use taxoglimpse_synth::{generate, GenOptions};
+use taxoglimpse_taxonomy::Taxonomy;
+
+/// Wall-time budget for materializing one taxonomy. Even NCBI at full
+/// fidelity (2.19M nodes) generates in well under a second and loads
+/// from its binary snapshot in tens of milliseconds, so the budget only
+/// trips on pathologically slow storage — in which case we point at the
+/// `--scale` escape hatch rather than silently overriding the request.
+const MATERIALIZE_BUDGET: Duration = Duration::from_secs(10);
+
+fn materialize(
+    cache: &TaxonomyCache,
+    kind: TaxonomyKind,
+    seed: u64,
+    scale: f64,
+) -> Arc<Taxonomy> {
+    let t0 = Instant::now();
+    let taxonomy = cache.get(kind, seed, scale);
+    if t0.elapsed() > MATERIALIZE_BUDGET {
+        eprintln!(
+            "note: materializing {} at scale {scale} took {:?} (budget {:?}); \
+             pass --scale to cap the taxonomy size",
+            kind.display_name(),
+            t0.elapsed(),
+            MATERIALIZE_BUDGET,
+        );
+    }
+    taxonomy
+}
 
 fn main() {
     let opts = RunOptions::from_env();
@@ -35,8 +65,7 @@ fn main() {
     );
     let model = SimulatedLlm::new(ModelId::Gpt4);
     for kind in [TaxonomyKind::Amazon, TaxonomyKind::Glottolog, TaxonomyKind::Ncbi] {
-        let scale = if kind == TaxonomyKind::Ncbi { 0.005 } else { opts.scale_for(kind).min(0.3) };
-        let taxonomy = cache.get(kind, opts.seed, scale);
+        let taxonomy = materialize(&cache, kind, opts.seed, opts.scale_for(kind));
         let easy = evaluator.run(&model, &build_dataset(&taxonomy, kind, QuestionDataset::Easy, &opts));
         let hard = evaluator.run(&model, &build_dataset(&taxonomy, kind, QuestionDataset::Hard, &opts));
         t1.push_row(vec![
@@ -50,7 +79,7 @@ fn main() {
 
     // ── 2. surface evidence on/off ───────────────────────────────────
     println!("Ablation 2: surface-form evidence and the NCBI last-level uplift\n");
-    let ncbi = cache.get(TaxonomyKind::Ncbi, opts.seed, 0.005);
+    let ncbi = materialize(&cache, TaxonomyKind::Ncbi, opts.seed, opts.scale_for(TaxonomyKind::Ncbi));
     let dataset = build_dataset(&ncbi, TaxonomyKind::Ncbi, QuestionDataset::Hard, &opts);
     let with = evaluator.run(&SimulatedLlm::new(ModelId::Gpt4), &dataset);
     let without = evaluator.run(
@@ -79,7 +108,7 @@ fn main() {
 
     // ── 3. template paraphrases ──────────────────────────────────────
     println!("Ablation 3: template paraphrase stability (Flan-T5-11B, Google hard)\n");
-    let google = cache.get(TaxonomyKind::Google, opts.seed, opts.scale_for(TaxonomyKind::Google));
+    let google = materialize(&cache, TaxonomyKind::Google, opts.seed, opts.scale_for(TaxonomyKind::Google));
     let gd = build_dataset(&google, TaxonomyKind::Google, QuestionDataset::Hard, &opts);
     let flan = SimulatedLlm::new(ModelId::FlanT5_11b);
     for variant in TemplateVariant::ALL {

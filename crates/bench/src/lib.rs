@@ -23,8 +23,8 @@ use std::sync::Mutex;
 use taxoglimpse_core::dataset::{Dataset, DatasetBuilder, QuestionDataset};
 use taxoglimpse_core::domain::TaxonomyKind;
 use taxoglimpse_llm::profile::ModelId;
-use taxoglimpse_synth::{generate, GenOptions};
-use taxoglimpse_taxonomy::Taxonomy;
+use taxoglimpse_synth::{generate, GenOptions, SEQ_STREAM_VERSION};
+use taxoglimpse_taxonomy::{SnapshotStore, Taxonomy};
 
 /// Common CLI options for the experiment binaries.
 #[derive(Debug, Clone)]
@@ -119,27 +119,57 @@ fn next_value(
 }
 
 /// Cache of generated taxonomies so `run_all` builds each only once.
-#[derive(Default)]
+///
+/// Two tiers: an in-process map (so one run never regenerates), backed
+/// by the on-disk [`SnapshotStore`] (so *successive* runs load the
+/// binary snapshot instead of regenerating — the NCBI forest costs
+/// hundreds of milliseconds to generate and tens to load). Snapshots
+/// are keyed by everything that determines the bytes (kind, seed,
+/// scale, stream + codec versions) and checksum-verified on load, so a
+/// stale or corrupt file silently degrades to regeneration.
 pub struct TaxonomyCache {
     // lint:allow(D001, keyed get-or-insert only; iteration order never observed)
     inner: Mutex<HashMap<(TaxonomyKind, u64, u64), std::sync::Arc<Taxonomy>>>,
+    store: Option<SnapshotStore>,
+}
+
+impl Default for TaxonomyCache {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TaxonomyCache {
-    /// Create an empty cache.
+    /// A cache backed by the default on-disk snapshot store
+    /// (`$TAXOGLIMPSE_CACHE_DIR`, else `target/taxo-cache`).
     pub fn new() -> Self {
-        Self::default()
+        // lint:allow(D001, lookup-only memo keyed by (kind, seed, scale); iteration order never reaches any serialized output)
+        TaxonomyCache { inner: Mutex::new(HashMap::new()), store: Some(SnapshotStore::open_default()) }
+    }
+
+    /// A purely in-process cache that never touches the filesystem.
+    pub fn in_memory() -> Self {
+        // lint:allow(D001, same lookup-only memo as `new`; never iterated for output)
+        TaxonomyCache { inner: Mutex::new(HashMap::new()), store: None }
     }
 
     /// Get or generate the taxonomy for `(kind, seed, scale)`.
+    ///
+    /// Generation uses the legacy sequential stream ([`generate`]), the
+    /// substrate under every pinned report digest in the workspace.
     pub fn get(&self, kind: TaxonomyKind, seed: u64, scale: f64) -> std::sync::Arc<Taxonomy> {
         let key = (kind, seed, scale.to_bits());
         if let Some(t) = self.inner.lock().expect("cache lock").get(&key) {
             return t.clone();
         }
-        let t = std::sync::Arc::new(
-            generate(kind, GenOptions { seed, scale }).expect("valid scale"),
-        );
+        let fresh = || generate(kind, GenOptions { seed, scale }).expect("valid scale");
+        let t = std::sync::Arc::new(match &self.store {
+            Some(store) => {
+                let skey = SnapshotStore::key(kind.label(), seed, scale, SEQ_STREAM_VERSION);
+                store.load_or_generate(&skey, fresh)
+            }
+            None => fresh(),
+        });
         self.inner.lock().expect("cache lock").insert(key, t.clone());
         t
     }

@@ -1,12 +1,30 @@
 //! Whole-taxonomy generation.
+//!
+//! Two entry points share one allocation-free production engine:
+//!
+//! * [`generate`] — the **legacy sequential stream**: one name stream
+//!   consumed in node order. Its byte output is pinned by digest tests
+//!   and must never change; it is the substrate under every pinned
+//!   report digest in the workspace.
+//! * [`generate_par`] — the **chunk-indexed stream** (`PAR_STREAM_VERSION`):
+//!   each level's parents are partitioned into fixed-size contiguous
+//!   chunks and every chunk forks an independent name stream from the
+//!   master seed *by `(level, chunk index)`* — never by thread — so the
+//!   output is byte-identical for any worker count. Chunk buffers are
+//!   spliced into the builder in chunk order.
+//!
+//! The two paths produce *different* (both deterministic) name streams:
+//! chunk-forked RNGs cannot reproduce the sequential stream. Callers
+//! that participate in pinned-digest artifacts (the bench
+//! `TaxonomyCache`, `BENCH_eval.json`) stay on [`generate`].
 
 use crate::kind::TaxonomyKind;
 use crate::names::Namer;
 use crate::profiles::TaxonomyProfile;
-use crate::rng::fork;
+use crate::rng::{fork, SynthRng};
 use crate::shape::assign_children;
-use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use taxoglimpse_taxonomy::{NodeId, Taxonomy, TaxonomyBuilder};
 
 /// Options controlling generation.
@@ -28,6 +46,28 @@ impl Default for GenOptions {
 /// Seed used by [`GenOptions::default`]; chosen arbitrarily and fixed so
 /// the default generation is reproducible across releases.
 pub const DEFAULT_SEED: u64 = 0x7a_6c_1a_9e_5e_ed_00_01;
+
+/// Version tag of the chunk-indexed name-stream discipline used by
+/// [`generate_par`]. Snapshot cache keys embed it (alongside the binary
+/// codec version) so a stream change invalidates cached taxonomies.
+/// The legacy sequential stream of [`generate`] is version 1.
+pub const PAR_STREAM_VERSION: u32 = 2;
+
+/// Stream version of the legacy sequential discipline ([`generate`]).
+pub const SEQ_STREAM_VERSION: u32 = 1;
+
+/// Parents per chunk in [`generate_par`]. A pure constant (never derived
+/// from the worker count) so the chunk partition — and therefore every
+/// forked stream — is identical no matter how many threads run.
+const PAR_CHUNK_PARENTS: usize = 512;
+
+/// Below this many children in a level, `generate_par` runs its chunks
+/// inline instead of spawning workers: chunk streams are execution-order
+/// independent, so this is pure overhead avoidance with identical bytes.
+/// The crossover reflects that spawn + join + per-chunk buffer handoff
+/// costs on the order of a hundred microseconds — producing ~8k names
+/// inline is cheaper than that.
+const PAR_SPAWN_THRESHOLD: usize = 8192;
 
 /// Generation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,6 +94,258 @@ pub fn generate(kind: TaxonomyKind, options: GenOptions) -> Result<Taxonomy, Gen
     generate_profile(&TaxonomyProfile::of(kind), options)
 }
 
+/// Generate the synthetic stand-in for `kind` with `workers` threads,
+/// using the chunk-indexed name streams (see module docs).
+///
+/// Deterministic *across worker counts*: identical `(kind, options)`
+/// produce byte-identical taxonomies whether `workers` is 1 or 64,
+/// because every chunk's RNG is forked by chunk index, not by thread.
+pub fn generate_par(
+    kind: TaxonomyKind,
+    options: GenOptions,
+    workers: usize,
+) -> Result<Taxonomy, GenError> {
+    generate_profile_par(&TaxonomyProfile::of(kind), options, workers)
+}
+
+/// One name probed and accepted into a sibling scope. The buffer holds
+/// winner names back to back; `spans` lists them in birth order, and
+/// `table` is an epoch-stamped open-addressing set of `(name hash, span
+/// index)` used for membership probes — the same membership semantics
+/// as the old per-parent `BTreeSet<String>`, with zero per-candidate
+/// allocation and O(1) probes. A slot belongs to the current scope only
+/// if its epoch stamp matches, so "clearing" between the millions of
+/// per-parent scopes is a counter bump, not a table wipe. Name bytes
+/// are compared only on hash equality, which matters because sibling
+/// names often share long prefixes (every NCBI species under one genus
+/// starts with the genus name). Neither the hash nor the probe order
+/// can influence output bytes: the table answers only the exact
+/// membership question, and duplicates are confirmed byte-wise.
+#[derive(Default)]
+struct SiblingProber {
+    buf: Vec<u8>,
+    spans: Vec<(u32, u32)>,
+    /// `(hash, span index, epoch)` slots; length is a power of two.
+    table: Vec<(u64, u32, u32)>,
+    /// Stamp identifying the current scope's live slots.
+    epoch: u32,
+    /// Index into `spans` where the current scope begins.
+    scope_start: usize,
+    /// Small scopes skip hashing and byte-compare against the scope's
+    /// accepted spans directly. Membership decisions are identical to
+    /// the table path (both end in an exact byte comparison), so the
+    /// mode never influences output bytes — only probe cost.
+    linear: bool,
+}
+
+/// Families at or below this size use the linear probe path. Most real
+/// taxonomy levels have small fan-out, and a handful of byte compares
+/// (which nearly always fail on the first byte between random names)
+/// beats hashing every candidate.
+const LINEAR_SCOPE_MAX: usize = 12;
+
+/// Seed for sibling-membership hashing; any fixed value works (the hash
+/// never influences output bytes, only table placement).
+const SIBLING_HASH_SEED: u64 = 0x51B_11A6;
+
+/// Membership hash over whole 8-byte words — the probe set is consulted
+/// once per candidate name, so this runs on every generated node.
+#[inline]
+fn sib_hash(bytes: &[u8]) -> u64 {
+    const M: u64 = 0x2545_F491_4F6C_DD1D;
+    let mut h = SIBLING_HASH_SEED ^ (bytes.len() as u64).wrapping_mul(M);
+    let mut chunks = bytes.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let w = u64::from_le_bytes(c.try_into().expect("chunks_exact yields 8 bytes"));
+        h = (h ^ w).wrapping_mul(M);
+        h ^= h >> 29;
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rem.len()].copy_from_slice(rem);
+        h = (h ^ u64::from_le_bytes(w)).wrapping_mul(M);
+        h ^= h >> 29;
+    }
+    h ^ (h >> 32)
+}
+
+impl SiblingProber {
+    fn clear(&mut self) {
+        self.buf.clear();
+        self.spans.clear();
+    }
+
+    fn names(&self) -> impl Iterator<Item = &str> {
+        self.spans.iter().map(|&(s, e)| {
+            std::str::from_utf8(&self.buf[s as usize..e as usize])
+                .expect("generated names are valid UTF-8")
+        })
+    }
+
+    /// Open a fresh uniqueness scope that will accept `expected` names.
+    /// Must be called before any [`SiblingProber::accept`]; sizes the
+    /// table to at most 50% load so probe chains stay short.
+    fn begin_scope(&mut self, expected: usize) {
+        self.scope_start = self.spans.len();
+        self.linear = expected <= LINEAR_SCOPE_MAX;
+        if self.linear {
+            return;
+        }
+        let need = (expected.max(4) * 2).next_power_of_two();
+        if self.table.len() < need || self.epoch == u32::MAX {
+            let size = need.max(self.table.len());
+            self.table.clear();
+            self.table.resize(size, (0, 0, 0));
+            self.epoch = 1;
+        } else {
+            self.epoch += 1;
+        }
+    }
+
+    /// If the candidate occupying `buf[start..]` is new in the current
+    /// scope, keep it and return true; otherwise truncate it away.
+    fn accept(&mut self, start: usize) -> bool {
+        let bytes = self.buf.as_slice();
+        let cand = &bytes[start..];
+        if self.linear {
+            for &(s, e) in &self.spans[self.scope_start..] {
+                if &bytes[s as usize..e as usize] == cand {
+                    self.buf.truncate(start);
+                    return false;
+                }
+            }
+            self.spans.push((start as u32, self.buf.len() as u32));
+            return true;
+        }
+        let hash = sib_hash(cand);
+        let mask = self.table.len() - 1;
+        let mut i = (hash as usize) & mask;
+        loop {
+            let (h, si, ep) = self.table[i];
+            if ep != self.epoch {
+                // First free slot: the candidate is new to this scope.
+                self.table[i] = (hash, self.spans.len() as u32, self.epoch);
+                self.spans.push((start as u32, self.buf.len() as u32));
+                return true;
+            }
+            if h == hash {
+                let (s, e) = self.spans[si as usize];
+                if &bytes[s as usize..e as usize] == cand {
+                    self.buf.truncate(start);
+                    return false;
+                }
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Append a sibling-unique name produced by `make` (which appends a
+    /// candidate to the buffer; `attempt` counts retries). Byte-for-byte
+    /// the semantics of the original `unique_name`: up to 16 fresh draws
+    /// (decorated with an ordinal from attempt 4 on), then a certain
+    /// numeric-suffix fallback scanned upward from the sibling count.
+    fn unique_into(&mut self, mut make: impl FnMut(&mut Vec<u8>, usize)) {
+        for attempt in 0..16 {
+            let start = self.buf.len();
+            make(&mut self.buf, attempt);
+            if self.accept(start) {
+                return;
+            }
+        }
+        // Certain fallback: a numeric suffix scanned upward from the
+        // sibling count is guaranteed to terminate. Cold path, so the
+        // per-iteration format allocation is irrelevant.
+        let start = self.buf.len();
+        make(&mut self.buf, 0);
+        let base_end = self.buf.len();
+        let mut k = self.spans.len();
+        loop {
+            self.buf.truncate(base_end);
+            self.buf.extend_from_slice(format!(" #{k}").as_bytes());
+            if self.accept(start) {
+                return;
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Attempts 0–3 are the base name unchanged (fresh draws); afterwards
+/// append a disambiguating ordinal so termination is certain. The
+/// ordinal is `attempt - 2`, which is at most 13 — two decimal digits.
+fn decorate_into(buf: &mut Vec<u8>, attempt: usize) {
+    if attempt >= 4 {
+        let v = attempt - 2;
+        buf.push(b' ');
+        if v >= 10 {
+            buf.push(b'0' + (v / 10) as u8);
+        }
+        buf.push(b'0' + (v % 10) as u8);
+    }
+}
+
+/// Produce the children of one contiguous run of parents (ids
+/// `first_parent..first_parent + per_parent.len()`) into `prober`
+/// (names) and `counts` (children per parent, aligned with the run),
+/// drawing every name from `rng`. Shared by both generation paths: the
+/// legacy path calls it once per level with the continuous sequential
+/// stream, the parallel path once per chunk with that chunk's forked
+/// stream. Parent names are read straight out of the builder's arena —
+/// production only needs `&TaxonomyBuilder`, so no per-level copy of
+/// the frontier's names is made.
+#[allow(clippy::too_many_arguments)]
+fn produce_run(
+    namer: &Namer,
+    rng: &mut SynthRng,
+    level: usize,
+    b: &TaxonomyBuilder,
+    first_parent: u32,
+    per_parent: &[usize],
+    prober: &mut SiblingProber,
+    scratch: &mut Vec<u8>,
+    counts: &mut Vec<u32>,
+) {
+    counts.clear();
+    prober.clear();
+    for (slot, &n_children) in per_parent.iter().enumerate() {
+        counts.push(n_children as u32);
+        if n_children == 0 {
+            continue;
+        }
+        let parent = b.name_of(NodeId::from_raw(first_parent + slot as u32));
+        // Per-parent sibling scope: the probe set covers only this
+        // parent's accepted names (which stay in the buffer for the
+        // splice); opening the next scope retires it in O(1).
+        prober.begin_scope(n_children);
+        for sib in 0..n_children {
+            prober.unique_into(|buf, attempt| {
+                namer.child_into(buf, scratch, rng, level, parent, sib);
+                decorate_into(buf, attempt);
+            });
+        }
+    }
+}
+
+/// Produce `count` root names into `prober` under one shared uniqueness
+/// scope (root names are globally unique across the forest).
+fn produce_roots(
+    namer: &Namer,
+    rng: &mut SynthRng,
+    count: usize,
+    prober: &mut SiblingProber,
+    scratch: &mut Vec<u8>,
+) {
+    prober.clear();
+    prober.begin_scope(count);
+    for i in 0..count {
+        prober.unique_into(|buf, attempt| {
+            namer.root_into(buf, scratch, rng, i);
+            decorate_into(buf, attempt);
+        });
+    }
+}
+
 /// Generate from an explicit profile (exposed for custom shapes).
 pub fn generate_profile(profile: &TaxonomyProfile, options: GenOptions) -> Result<Taxonomy, GenError> {
     if !(options.scale > 0.0 && options.scale <= 1.0) {
@@ -68,78 +360,218 @@ pub fn generate_profile(profile: &TaxonomyProfile, options: GenOptions) -> Resul
     let mut name_rng = fork(options.seed, label, 0);
     let mut shape_rng = fork(options.seed, label, 1);
 
-    // Roots.
-    let mut frontier: Vec<NodeId> = Vec::with_capacity(levels[0]);
-    {
-        let mut seen = BTreeSet::new();
-        for i in 0..levels[0] {
-            let name = unique_name(&mut seen, |attempt| {
-                let base = namer.root(&mut name_rng, i);
-                decorate(base, attempt)
-            });
-            frontier.push(b.add_root(&name));
-        }
-    }
+    let mut prober = SiblingProber::default();
+    let mut scratch = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
 
-    // Deeper levels.
+    // Roots.
+    produce_roots(&namer, &mut name_rng, levels[0], &mut prober, &mut scratch);
+    for name in prober.names() {
+        b.add_root(name);
+    }
+    // Every level occupies a contiguous id range, so the frontier is
+    // just a range — no per-level id vector is materialized.
+    let mut frontier = 0..u32::try_from(b.len()).expect("root count fits u32");
+
+    // Deeper levels: one continuous run per level over the whole
+    // frontier, drawing from the single sequential name stream.
     for (level, &count) in levels.iter().enumerate().skip(1) {
         let per_parent = assign_children(&mut shape_rng, frontier.len(), count);
-        let mut next = Vec::with_capacity(count);
-        for (parent_slot, &n_children) in per_parent.iter().enumerate() {
-            if n_children == 0 {
-                continue;
-            }
-            let parent_id = frontier[parent_slot];
-            let parent_name = b_name(&b, parent_id).to_owned();
-            let mut seen: BTreeSet<String> = BTreeSet::new();
-            for sib in 0..n_children {
-                let name = unique_name(&mut seen, |attempt| {
-                    let base = namer.child(&mut name_rng, level, &parent_name, sib);
-                    decorate(base, attempt)
-                });
-                next.push(b.add_child(parent_id, &name));
-            }
-        }
-        frontier = next;
+        produce_run(
+            &namer,
+            &mut name_rng,
+            level,
+            &b,
+            frontier.start,
+            &per_parent,
+            &mut prober,
+            &mut scratch,
+            &mut counts,
+        );
+        frontier = splice_run(&mut b, frontier, &prober, &counts);
     }
 
     Ok(b.build().expect("profile depths are far below the builder limit"))
 }
 
-/// Retry `make` until it yields a name unseen among siblings, decorating
-/// with an attempt counter as a last resort.
-fn unique_name(seen: &mut BTreeSet<String>, mut make: impl FnMut(usize) -> String) -> String {
-    for attempt in 0..16 {
-        let name = make(attempt);
-        if seen.insert(name.clone()) {
-            return name;
-        }
-    }
-    // Certain fallback: a numeric suffix scanned upward from the sibling
-    // count is guaranteed to terminate.
-    let base = make(0);
-    for k in seen.len().. {
-        let name = format!("{base} #{k}");
-        if seen.insert(name.clone()) {
-            return name;
-        }
-    }
-    unreachable!("the suffix scan always finds a free name")
+/// Append a produced run's names under their parents (a contiguous id
+/// range) via the bulk builder API, returning the new children's id
+/// range. The prober's buffer already holds every child name back to
+/// back in final order, so the whole run lands as one name-block copy
+/// plus column fills ([`TaxonomyBuilder::extend_level`]) — no per-name
+/// appends.
+fn splice_run(
+    b: &mut TaxonomyBuilder,
+    parents: std::ops::Range<u32>,
+    prober: &SiblingProber,
+    counts: &[u32],
+) -> std::ops::Range<u32> {
+    // One UTF-8 validation per run (fast ASCII path) instead of one per
+    // fragment: production appends raw bytes, the splice re-checks.
+    let names = std::str::from_utf8(&prober.buf).expect("generated names are valid UTF-8");
+    b.extend_level(parents, counts, names, &prober.spans)
 }
 
-/// Attempts 0–3 return the base name unchanged (fresh draws); afterwards
-/// append a disambiguating Roman-ish ordinal so termination is certain.
-fn decorate(base: String, attempt: usize) -> String {
-    if attempt < 4 {
-        base
-    } else {
-        format!("{base} {}", attempt - 2)
+/// Generate from an explicit profile with chunk-indexed parallel name
+/// streams (see module docs). `workers` only controls execution, never
+/// bytes.
+pub fn generate_profile_par(
+    profile: &TaxonomyProfile,
+    options: GenOptions,
+    workers: usize,
+) -> Result<Taxonomy, GenError> {
+    if !(options.scale > 0.0 && options.scale <= 1.0) {
+        return Err(GenError::BadScale);
     }
+    let workers = workers.max(1);
+    let levels = profile.scaled_levels(options.scale);
+    let total: usize = levels.iter().sum();
+    let namer = Namer::new(profile.regime);
+    let label = profile.kind.label();
+    let mut b = TaxonomyBuilder::with_capacity(label, total, 24);
+
+    // The shape stream is consumed sequentially (level by level) exactly
+    // as in the legacy path, so both paths produce identical forests
+    // shape-wise; only the name streams differ.
+    let mut shape_rng = fork(options.seed, label, 1);
+
+    let mut scratch = Vec::new();
+
+    // Roots: a single chunk — root uniqueness is scoped to the whole
+    // forest, so the root level cannot be split without changing the
+    // probing semantics.
+    let mut prober = SiblingProber::default();
+    let mut counts: Vec<u32> = Vec::new();
+    {
+        let mut rng = fork(options.seed, label, par_stream_index(0, 0));
+        produce_roots(&namer, &mut rng, levels[0], &mut prober, &mut scratch);
+    }
+    for name in prober.names() {
+        b.add_root(name);
+    }
+    // As in the sequential path, each level's ids are contiguous, so
+    // the frontier is a range.
+    let mut frontier = 0..u32::try_from(b.len()).expect("root count fits u32");
+
+    for (level, &count) in levels.iter().enumerate().skip(1) {
+        let per_parent = assign_children(&mut shape_rng, frontier.len(), count);
+
+        // Fixed partition: chunk boundaries depend only on the frontier
+        // length, never on the worker count.
+        let n_chunks = frontier.len().div_ceil(PAR_CHUNK_PARENTS);
+        let chunk_of = |c: usize| {
+            let lo = c * PAR_CHUNK_PARENTS;
+            let hi = ((c + 1) * PAR_CHUNK_PARENTS).min(frontier.len());
+            lo..hi
+        };
+
+        let level_start = u32::try_from(b.len()).expect("taxonomy exceeds u32::MAX nodes");
+        if workers == 1 || count < PAR_SPAWN_THRESHOLD || n_chunks == 1 {
+            // Inline execution: identical bytes, no spawn overhead.
+            // Each chunk is spliced as soon as it is produced, so one
+            // prober (and its table/buffer allocations) serves every
+            // chunk of the level.
+            for c in 0..n_chunks {
+                let range = chunk_of(c);
+                let mut rng = fork(options.seed, label, par_stream_index(level, c));
+                produce_run(
+                    &namer,
+                    &mut rng,
+                    level,
+                    &b,
+                    frontier.start + range.start as u32,
+                    &per_parent[range.clone()],
+                    &mut prober,
+                    &mut scratch,
+                    &mut counts,
+                );
+                let parents =
+                    frontier.start + range.start as u32..frontier.start + range.end as u32;
+                splice_run(&mut b, parents, &prober, &counts);
+            }
+        } else {
+            // Scoped workers pull chunk indices off a shared counter and
+            // return (chunk, output) pairs; the merge below places each
+            // result by chunk index, so scheduling order is invisible in
+            // the output. Workers read parent names from the shared
+            // `&TaxonomyBuilder`; the builder is only mutated after the
+            // scope ends.
+            let next_chunk = AtomicUsize::new(0);
+            let frontier_ref = &frontier;
+            let per_parent_ref = &per_parent;
+            let next_chunk_ref = &next_chunk;
+            let namer_ref = &namer;
+            let b_ref = &b;
+            let produced: Vec<Vec<(usize, SiblingProber, Vec<u32>)>> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..workers.min(n_chunks))
+                        .map(|_| {
+                            scope.spawn(move || {
+                                let mut out = Vec::new();
+                                let mut worker_scratch = Vec::new();
+                                loop {
+                                    // Relaxed: the counter only hands out distinct
+                                    // chunk indices; results merge positionally.
+                                    let c = next_chunk_ref.fetch_add(1, Ordering::Relaxed);
+                                    if c >= n_chunks {
+                                        break;
+                                    }
+                                    let lo = c * PAR_CHUNK_PARENTS;
+                                    let hi =
+                                        ((c + 1) * PAR_CHUNK_PARENTS).min(frontier_ref.len());
+                                    let mut rng =
+                                        fork(options.seed, label, par_stream_index(level, c));
+                                    let mut chunk_prober = SiblingProber::default();
+                                    let mut chunk_counts: Vec<u32> = Vec::new();
+                                    produce_run(
+                                        namer_ref,
+                                        &mut rng,
+                                        level,
+                                        b_ref,
+                                        frontier_ref.start + lo as u32,
+                                        &per_parent_ref[lo..hi],
+                                        &mut chunk_prober,
+                                        &mut worker_scratch,
+                                        &mut chunk_counts,
+                                    );
+                                    out.push((c, chunk_prober, chunk_counts));
+                                }
+                                out
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("chunk worker thread must not panic"))
+                        .collect()
+                });
+            let mut slots: Vec<Option<(SiblingProber, Vec<u32>)>> = Vec::new();
+            slots.resize_with(n_chunks, || None);
+            for (c, p, k) in produced.into_iter().flatten() {
+                slots[c] = Some((p, k));
+            }
+            // Splice in chunk order: byte layout depends only on the
+            // chunk partition, which is fixed.
+            for (c, slot) in slots.into_iter().enumerate() {
+                let (chunk_prober, chunk_counts) =
+                    slot.expect("every chunk index below n_chunks is produced exactly once");
+                let lo = frontier.start + (c * PAR_CHUNK_PARENTS) as u32;
+                let parents = lo..lo + chunk_counts.len() as u32;
+                splice_run(&mut b, parents, &chunk_prober, &chunk_counts);
+            }
+        }
+
+        frontier = level_start..u32::try_from(b.len()).expect("taxonomy exceeds u32::MAX nodes");
+    }
+
+    Ok(b.build().expect("profile depths are far below the builder limit"))
 }
 
-/// Read a name back out of the builder.
-fn b_name(b: &TaxonomyBuilder, id: NodeId) -> &str {
-    b.name_of(id)
+/// Stream index for the chunk-forked name RNG of `(level, chunk)`.
+/// Indices 0 and 1 are the legacy sequential name/shape streams, so the
+/// parallel discipline starts at `(2 + level) << 32` to stay disjoint.
+fn par_stream_index(level: usize, chunk: usize) -> u64 {
+    ((2 + level as u64) << 32) | chunk as u64
 }
 
 #[cfg(test)]
@@ -211,6 +643,51 @@ mod tests {
     }
 
     #[test]
+    fn par_sibling_names_are_unique() {
+        let t = generate_par(TaxonomyKind::Oae, opts(0.2), 2).unwrap();
+        for id in t.ids() {
+            let kids = t.children(id);
+            let mut names: Vec<&str> = kids.iter().map(|&k| t.name(k)).collect();
+            names.sort_unstable();
+            let before = names.len();
+            names.dedup();
+            assert_eq!(names.len(), before, "duplicate sibling names under {}", t.name(id));
+        }
+    }
+
+    #[test]
+    fn par_shape_matches_sequential_shape() {
+        for kind in [TaxonomyKind::Ebay, TaxonomyKind::Glottolog, TaxonomyKind::Icd10Cm] {
+            let a = generate(kind, opts(0.1)).unwrap();
+            let b = generate_par(kind, opts(0.1), 2).unwrap();
+            validate(&b).unwrap();
+            assert_eq!(a.len(), b.len(), "{kind}");
+            assert_eq!(a.num_levels(), b.num_levels(), "{kind}");
+            for level in 0..a.num_levels() {
+                assert_eq!(
+                    a.nodes_at_level(level).len(),
+                    b.nodes_at_level(level).len(),
+                    "{kind} level {level}"
+                );
+            }
+            // Parent structure is identical node-for-node (the shape
+            // stream is shared); only names differ.
+            for (x, y) in a.ids().zip(b.ids()) {
+                assert_eq!(a.parent(x).map(NodeId::raw), b.parent(y).map(NodeId::raw));
+            }
+        }
+    }
+
+    #[test]
+    fn par_is_worker_count_invariant() {
+        for kind in [TaxonomyKind::Ebay, TaxonomyKind::Oae] {
+            let t1 = generate_par(kind, opts(0.15), 1).unwrap();
+            let t4 = generate_par(kind, opts(0.15), 4).unwrap();
+            assert_eq!(t1.to_tsv(), t4.to_tsv(), "{kind}");
+        }
+    }
+
+    #[test]
     fn most_nodes_have_uncles() {
         // Hard-negative sampling needs uncles; the shape algorithm should
         // make them near-universal.
@@ -251,5 +728,7 @@ mod tests {
     fn bad_scale_is_rejected() {
         assert_eq!(generate(TaxonomyKind::Ebay, opts(0.0)).unwrap_err(), GenError::BadScale);
         assert_eq!(generate(TaxonomyKind::Ebay, opts(1.5)).unwrap_err(), GenError::BadScale);
+        assert_eq!(generate_par(TaxonomyKind::Ebay, opts(0.0), 2).unwrap_err(), GenError::BadScale);
     }
 }
+

@@ -5,9 +5,15 @@
 //! data — most importantly that an NCBI species name embeds its genus
 //! name (`Verbascum chaixii` under `Verbascum`) and that OAE children
 //! share long substrings with their parents (`... AE`).
+//!
+//! The syllable pools are stored twice: as `&str` slices (the readable
+//! source of truth, used by tests) and as packed [`Frag`] tables whose
+//! appends compile to one unconditional 4-byte copy — this is the
+//! hottest loop in taxonomy generation, running once per syllable of
+//! every generated node name.
 
+use crate::rng::Rng;
 use crate::rng::SynthRng;
-use crate::rng::SliceRandom;
 
 /// Phonotactic style for pseudo-word generation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -20,42 +26,158 @@ pub enum WordStyle {
     Plain,
 }
 
-const ONSETS: &[&str] = &[
+/// A syllable fragment padded to four bytes so appending is a fixed-size
+/// copy plus a length adjustment instead of a variable-length `memcpy`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Frag {
+    bytes: [u8; 4],
+    len: u8,
+}
+
+impl Frag {
+    /// Pack a fragment (at most 4 bytes) at compile time.
+    const fn new(s: &str) -> Frag {
+        let src = s.as_bytes();
+        assert!(src.len() <= 4, "fragments are at most 4 bytes");
+        let mut bytes = [0u8; 4];
+        let mut i = 0;
+        while i < src.len() {
+            bytes[i] = src[i];
+            i += 1;
+        }
+        Frag { bytes, len: src.len() as u8 }
+    }
+
+    /// Like [`Frag::new`] with the first byte ASCII-uppercased.
+    const fn new_cap(s: &str) -> Frag {
+        let mut f = Frag::new(s);
+        f.bytes[0] = f.bytes[0].to_ascii_uppercase();
+        f
+    }
+}
+
+/// Append one packed fragment: an unconditional 4-byte copy, then trim.
+#[inline(always)]
+pub(crate) fn push_frag(out: &mut Vec<u8>, f: Frag) {
+    out.extend_from_slice(&f.bytes);
+    out.truncate(out.len() - (4 - f.len as usize));
+}
+
+/// Define a syllable pool as both a `&str` slice and a packed [`Frag`]
+/// table; the three-table form adds a first-byte-capitalized variant
+/// (only onsets need one — a word's first char is its first onset char).
+macro_rules! frag_pool {
+    ($name:ident, $packed:ident, $capped:ident, [$($s:literal),* $(,)?]) => {
+        frag_pool!($name, $packed, [$($s),*]);
+        const $capped: &[Frag] = &[$(Frag::new_cap($s)),*];
+    };
+    ($name:ident, $packed:ident, [$($s:literal),* $(,)?]) => {
+        // The `&str` mirror is the readable source of truth, consumed
+        // only by tests; generation reads the packed table.
+        #[allow(dead_code)]
+        pub(crate) const $name: &[&str] = &[$($s),*];
+        const $packed: &[Frag] = &[$(Frag::new($s)),*];
+    };
+}
+
+frag_pool!(ONSETS, ONSETS_P, ONSETS_C, [
     "b", "c", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "z", "br", "cl",
     "cr", "dr", "fl", "gr", "pl", "pr", "sc", "sp", "st", "str", "th", "tr", "ch", "ph", "qu",
-];
-const NUCLEI: &[&str] = &["a", "e", "i", "o", "u", "ae", "ia", "io", "ea", "ou", "ei"];
-const CODAS: &[&str] = &["", "", "", "n", "r", "s", "l", "m", "x", "t", "nd", "rn", "st", "ns"];
-
-const LATIN_ENDINGS: &[&str] = &["us", "um", "a", "is", "ia", "ens", "ii", "ata", "osa", "alis"];
-const LINGUISTIC_ENDINGS: &[&str] = &["ic", "an", "ese", "ish", "i", "ian", "ti", "ua", "o", "ai"];
+]);
+frag_pool!(NUCLEI, NUCLEI_P, [
+    "a", "e", "i", "o", "u", "ae", "ia", "io", "ea", "ou", "ei",
+]);
+frag_pool!(CODAS, CODAS_P, [
+    "", "", "", "n", "r", "s", "l", "m", "x", "t", "nd", "rn", "st", "ns",
+]);
+frag_pool!(LATIN_ENDINGS, LATIN_P, [
+    "us", "um", "a", "is", "ia", "ens", "ii", "ata", "osa", "alis",
+]);
+frag_pool!(LINGUISTIC_ENDINGS, LINGUISTIC_P, [
+    "ic", "an", "ese", "ish", "i", "ian", "ti", "ua", "o", "ai",
+]);
 
 /// Generate one pseudo-word of `syllables` syllables in the given style.
 pub fn pseudo_word(rng: &mut SynthRng, style: WordStyle, syllables: usize) -> String {
-    let mut w = String::with_capacity(syllables * 3 + 3);
+    let mut w = Vec::with_capacity(syllables * 3 + 3);
+    pseudo_word_into(rng, style, syllables, &mut w);
+    String::from_utf8(w).expect("syllable fragments are valid UTF-8")
+}
+
+/// Append one pseudo-word to `out` — same RNG draws and bytes as
+/// [`pseudo_word`], without the per-word `String`. This is the
+/// generator's hot-path variant.
+#[inline]
+pub fn pseudo_word_into(rng: &mut SynthRng, style: WordStyle, syllables: usize, out: &mut Vec<u8>) {
+    word_into(rng, style, syllables, out, false)
+}
+
+/// [`pseudo_word_into`] with the word's first byte ASCII-uppercased —
+/// byte-for-byte `capitalize(pseudo_word(..))` with the same draws, but
+/// with no intermediate buffer (the capital comes straight from the
+/// pre-capitalized onset table).
+#[inline]
+pub fn pseudo_word_cap_into(
+    rng: &mut SynthRng,
+    style: WordStyle,
+    syllables: usize,
+    out: &mut Vec<u8>,
+) {
+    word_into(rng, style, syllables, out, true)
+}
+
+#[inline]
+fn word_into(
+    rng: &mut SynthRng,
+    style: WordStyle,
+    syllables: usize,
+    out: &mut Vec<u8>,
+    capitalize_first: bool,
+) {
     for i in 0..syllables.max(1) {
-        w.push_str(ONSETS.choose(rng).expect("nonempty pool"));
-        w.push_str(NUCLEI.choose(rng).expect("nonempty pool"));
+        let onsets = if i == 0 && capitalize_first { ONSETS_C } else { ONSETS_P };
+        push_frag(out, onsets[rng.gen_index(onsets.len())]);
+        push_frag(out, NUCLEI_P[rng.gen_index(NUCLEI_P.len())]);
         // Interior codas make clusters too heavy; only allow at the end.
         if i + 1 == syllables {
-            match style {
-                WordStyle::Latin => w.push_str(LATIN_ENDINGS.choose(rng).expect("nonempty pool")),
-                WordStyle::Linguistic => {
-                    w.push_str(LINGUISTIC_ENDINGS.choose(rng).expect("nonempty pool"))
-                }
-                WordStyle::Plain => w.push_str(CODAS.choose(rng).expect("nonempty pool")),
-            }
+            let pool = match style {
+                WordStyle::Latin => LATIN_P,
+                WordStyle::Linguistic => LINGUISTIC_P,
+                WordStyle::Plain => CODAS_P,
+            };
+            push_frag(out, pool[rng.gen_index(pool.len())]);
         }
     }
-    w
 }
 
 /// Capitalize the first ASCII letter.
 pub fn capitalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    capitalize_into(s, &mut out);
+    out
+}
+
+/// Append `s` with its first ASCII letter capitalized — same bytes as
+/// [`capitalize`], without the intermediate `String`.
+pub fn capitalize_into(s: &str, out: &mut String) {
     let mut chars = s.chars();
-    match chars.next() {
-        Some(c) => c.to_ascii_uppercase().to_string() + chars.as_str(),
-        None => String::new(),
+    if let Some(c) = chars.next() {
+        out.push(c.to_ascii_uppercase());
+        out.push_str(chars.as_str());
+    }
+}
+
+/// Byte-buffer variant of [`capitalize_into`]: append `s` with its first
+/// byte ASCII-uppercased. Identical bytes for any UTF-8 input, because
+/// `char::to_ascii_uppercase` only changes ASCII leaders and non-ASCII
+/// leading bytes are `>= 0x80`, which `u8::to_ascii_uppercase` leaves
+/// untouched.
+#[inline]
+pub(crate) fn push_cap(out: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    if let Some((&first, rest)) = b.split_first() {
+        out.push(first.to_ascii_uppercase());
+        out.extend_from_slice(rest);
     }
 }
 
@@ -218,6 +340,22 @@ mod tests {
     }
 
     #[test]
+    fn capitalized_variant_matches_capitalize_of_plain() {
+        for (seed, style) in
+            [(9u64, WordStyle::Latin), (10, WordStyle::Linguistic), (11, WordStyle::Plain)]
+        {
+            let mut a = fork(seed, "w", 2);
+            let mut b = fork(seed, "w", 2);
+            for syll in 1..4 {
+                let plain = pseudo_word(&mut a, style, syll);
+                let mut cap = Vec::new();
+                pseudo_word_cap_into(&mut b, style, syll, &mut cap);
+                assert_eq!(String::from_utf8(cap).unwrap(), capitalize(&plain));
+            }
+        }
+    }
+
+    #[test]
     fn words_are_nonempty_and_lowercase() {
         let mut rng = fork(3, "w", 1);
         for s in 1..4 {
@@ -233,6 +371,17 @@ mod tests {
         assert_eq!(capitalize(""), "");
         assert_eq!(camel_case(&["payment", "complete"]), "PaymentComplete");
         assert_eq!(title_case("hello wide world"), "Hello Wide World");
+    }
+
+    #[test]
+    fn push_cap_matches_capitalize_into() {
+        for s in ["abc", "", "x", "été", "a-b c"] {
+            let mut a = String::new();
+            capitalize_into(s, &mut a);
+            let mut b = Vec::new();
+            push_cap(&mut b, s);
+            assert_eq!(String::from_utf8(b).unwrap(), a);
+        }
     }
 
     #[test]

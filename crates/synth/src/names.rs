@@ -6,12 +6,17 @@
 //! a child name shares**. NCBI species embed the genus, OAE children
 //! embed the parent phrase, ICD child codes extend parent codes, while
 //! Glottolog children are surface-independent of their parents.
+//!
+//! The `*_into` variants append to reusable byte buffers: generated
+//! names are ASCII by construction, and working on `Vec<u8>` lets the
+//! hot path skip per-fragment UTF-8 boundary checks (one validation
+//! happens when the buffer is spliced into the taxonomy).
 
-use crate::morphology::{camel_case, capitalize, pools, pseudo_word, title_case, WordStyle};
+use crate::morphology::{pools, pseudo_word_cap_into, pseudo_word_into, push_cap, WordStyle};
 use crate::profiles::NameRegime;
-use crate::rng::SynthRng;
-use crate::rng::SliceRandom;
 use crate::rng::Rng;
+use crate::rng::SliceRandom;
+use crate::rng::SynthRng;
 
 /// Stateless name factory for one regime.
 #[derive(Debug, Clone, Copy)]
@@ -27,22 +32,45 @@ impl Namer {
 
     /// Name for the `tree_index`-th root.
     pub fn root(&self, rng: &mut SynthRng, tree_index: usize) -> String {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.root_into(&mut out, &mut scratch, rng, tree_index);
+        String::from_utf8(out).expect("generated names are valid UTF-8")
+    }
+
+    /// Append the `tree_index`-th root's name to `out` — identical RNG
+    /// draws and bytes as [`Namer::root`], with no per-name allocation.
+    /// `scratch` is caller-provided reusable working space (cleared
+    /// here) for arms whose draw order differs from their output order.
+    pub fn root_into(
+        &self,
+        out: &mut Vec<u8>,
+        scratch: &mut Vec<u8>,
+        rng: &mut SynthRng,
+        tree_index: usize,
+    ) {
         match self.regime {
             NameRegime::Shopping => {
                 let head = pools::PRODUCT_HEADS.choose(rng).expect("static name pools are non-empty");
                 // Broad top-level category: bare head or an umbrella pair.
                 if rng.gen_bool(0.4) {
-                    (*head).to_owned()
+                    out.extend_from_slice(head.as_bytes());
                 } else {
                     let other = pools::PRODUCT_HEADS.choose(rng).expect("static name pools are non-empty");
-                    format!("{head} & {other}")
+                    out.extend_from_slice(head.as_bytes());
+                    out.extend_from_slice(b" & ");
+                    out.extend_from_slice(other.as_bytes());
                 }
             }
             NameRegime::SchemaOrg => {
                 const TOPS: &[&str] = &["Thing", "DataType", "Intangible", "Entity", "Resource"];
-                TOPS.get(tree_index)
-                    .map(|s| (*s).to_owned())
-                    .unwrap_or_else(|| camel_case(&[pools::SCHEMA_STEMS.choose(rng).expect("static name pools are non-empty")]))
+                match TOPS.get(tree_index) {
+                    Some(s) => out.extend_from_slice(s.as_bytes()),
+                    None => push_cap(
+                        out,
+                        pools::SCHEMA_STEMS.choose(rng).expect("static name pools are non-empty"),
+                    ),
+                }
             }
             NameRegime::AcmCcs => {
                 const TOPS: &[&str] = &[
@@ -51,9 +79,20 @@ impl Namer {
                     "Networks", "Human-centered computing", "Hardware", "Applied computing",
                     "Mathematics of computing", "Social and professional topics", "General and reference",
                 ];
-                TOPS.get(tree_index)
-                    .map(|s| (*s).to_owned())
-                    .unwrap_or_else(|| title_case(pools::CS_AREAS.choose(rng).expect("static name pools are non-empty")))
+                match TOPS.get(tree_index) {
+                    Some(s) => out.extend_from_slice(s.as_bytes()),
+                    None => {
+                        // Title-case every space-separated word.
+                        let area =
+                            pools::CS_AREAS.choose(rng).expect("static name pools are non-empty");
+                        for (i, word) in area.split(' ').enumerate() {
+                            if i > 0 {
+                                out.push(b' ');
+                            }
+                            push_cap(out, word);
+                        }
+                    }
+                }
             }
             NameRegime::GeoNames => {
                 const CLASSES: &[(&str, &str)] = &[
@@ -68,27 +107,46 @@ impl Namer {
                     ("V", "forest, heath"),
                 ];
                 let (code, desc) = CLASSES[tree_index % CLASSES.len()];
-                format!("{code} — {desc}")
+                out.extend_from_slice(code.as_bytes());
+                out.extend_from_slice(" — ".as_bytes());
+                out.extend_from_slice(desc.as_bytes());
             }
             NameRegime::Glottolog => {
-                let stem = pseudo_word(rng, WordStyle::Linguistic, 2);
-                capitalize(&stem)
+                pseudo_word_cap_into(rng, WordStyle::Linguistic, 2, out);
             }
             NameRegime::Icd => {
                 // Chapter: letter range + description.
-                let letter = (b'A' + (tree_index % 26) as u8) as char;
+                let letter = b'A' + (tree_index % 26) as u8;
                 let site = pools::BODY_SITES.choose(rng).expect("static name pools are non-empty");
-                format!("{letter}00-{letter}99 Diseases of the {site} system")
+                out.push(letter);
+                out.extend_from_slice(b"00-");
+                out.push(letter);
+                out.extend_from_slice(b"99 Diseases of the ");
+                out.extend_from_slice(site.as_bytes());
+                out.extend_from_slice(b" system");
             }
             NameRegime::Oae => {
                 let site = pools::BODY_SITES.choose(rng).expect("static name pools are non-empty");
                 let stem = pools::DISEASE_STEMS.choose(rng).expect("static name pools are non-empty");
-                format!("{site} {stem} AE")
+                out.extend_from_slice(site.as_bytes());
+                out.push(b' ');
+                out.extend_from_slice(stem.as_bytes());
+                out.extend_from_slice(b" AE");
             }
             NameRegime::Ncbi => {
-                // Kingdom / high-level clade.
-                let stem = pseudo_word(rng, WordStyle::Plain, 2);
-                format!("{}ota", capitalize(stem.trim_end_matches(|c: char| !c.is_ascii_alphabetic())))
+                // Kingdom / high-level clade. All syllable fragments are
+                // ASCII letters, so trimming trailing non-alphabetics is
+                // a provable no-op — kept for robustness against future
+                // fragment pools.
+                let start = out.len();
+                pseudo_word_cap_into(rng, WordStyle::Plain, 2, out);
+                while out.len() > start
+                    && !out.last().copied().unwrap_or(b'a').is_ascii_alphabetic()
+                {
+                    out.pop();
+                }
+                out.extend_from_slice(b"ota");
+                let _ = scratch;
             }
         }
     }
@@ -96,34 +154,57 @@ impl Namer {
     /// Name for a child at `level` (1-based relative to roots at 0) under
     /// a parent named `parent`.
     pub fn child(&self, rng: &mut SynthRng, level: usize, parent: &str, sibling_index: usize) -> String {
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.child_into(&mut out, &mut scratch, rng, level, parent, sibling_index);
+        String::from_utf8(out).expect("generated names are valid UTF-8")
+    }
+
+    /// Append a child name to `out` — identical RNG draws and bytes as
+    /// [`Namer::child`], with no per-name allocation. `scratch` is
+    /// caller-provided reusable working space (cleared here).
+    pub fn child_into(
+        &self,
+        out: &mut Vec<u8>,
+        scratch: &mut Vec<u8>,
+        rng: &mut SynthRng,
+        level: usize,
+        parent: &str,
+        sibling_index: usize,
+    ) {
         match self.regime {
             NameRegime::Shopping => {
                 let reuse_head = rng.gen_bool(0.55);
                 let modifier = pools::PRODUCT_MODS.choose(rng).expect("static name pools are non-empty");
-                if reuse_head {
+                let head = if reuse_head {
                     // Reuse the parent's head noun: moderate similarity.
-                    let head = parent.split(' ').next_back().unwrap_or(parent);
-                    format!("{modifier} {head}")
+                    parent.split(' ').next_back().unwrap_or(parent)
                 } else {
-                    let head = pools::PRODUCT_HEADS.choose(rng).expect("static name pools are non-empty");
-                    format!("{modifier} {head}")
-                }
+                    pools::PRODUCT_HEADS.choose(rng).expect("static name pools are non-empty")
+                };
+                out.extend_from_slice(modifier.as_bytes());
+                out.push(b' ');
+                out.extend_from_slice(head.as_bytes());
             }
             NameRegime::SchemaOrg => {
-                let stem = capitalize(pools::SCHEMA_STEMS.choose(rng).expect("static name pools are non-empty"));
+                let stem = pools::SCHEMA_STEMS.choose(rng).expect("static name pools are non-empty");
                 if rng.gen_bool(0.5) {
                     // Extend the parent's trailing CamelWord: PaymentAction.
-                    let tail = camel_tail(parent);
-                    format!("{stem}{tail}")
+                    push_cap(out, stem);
+                    out.extend_from_slice(camel_tail(parent).as_bytes());
                 } else {
-                    let m = capitalize(pools::SCHEMA_MODS.choose(rng).expect("static name pools are non-empty"));
-                    format!("{m}{stem}")
+                    let m = pools::SCHEMA_MODS.choose(rng).expect("static name pools are non-empty");
+                    push_cap(out, m);
+                    push_cap(out, stem);
                 }
             }
             NameRegime::AcmCcs => {
                 let q = pools::CS_QUALIFIERS.choose(rng).expect("static name pools are non-empty");
                 let a = pools::CS_AREAS.choose(rng).expect("static name pools are non-empty");
-                capitalize(&format!("{q} {a}"))
+                // capitalize("{q} {a}") only uppercases the first char.
+                push_cap(out, q);
+                out.push(b' ');
+                out.extend_from_slice(a.as_bytes());
             }
             NameRegime::GeoNames => {
                 let feature = if rng.gen_bool(0.35) {
@@ -131,26 +212,29 @@ impl Namer {
                 } else {
                     pools::GEO_FEATURES.choose(rng).expect("static name pools are non-empty")
                 };
-                let code: String = feature
-                    .chars()
-                    .filter(|c| c.is_ascii_alphabetic())
-                    .take(3)
-                    .map(|c| c.to_ascii_uppercase())
-                    .collect();
-                format!("{code}{} {feature}", sibling_index % 10)
+                for &b in feature.as_bytes().iter().filter(|b| b.is_ascii_alphabetic()).take(3) {
+                    out.push(b.to_ascii_uppercase());
+                }
+                push_digit(out, sibling_index % 10);
+                out.push(b' ');
+                out.extend_from_slice(feature.as_bytes());
             }
             NameRegime::Glottolog => {
                 // Children diverge from their parents: fresh stems with
                 // occasional areal prefixes. Deepest level: short dialect
-                // names.
+                // names. The word is drawn *before* the prefix decision,
+                // so it goes through `scratch` to keep the draw order.
                 let syll = if level >= 5 { 2 } else { 2 + usize::from(rng.gen_bool(0.4)) };
-                let stem = capitalize(&pseudo_word(rng, WordStyle::Linguistic, syll));
+                scratch.clear();
+                pseudo_word_cap_into(rng, WordStyle::Linguistic, syll, scratch);
                 if rng.gen_bool(0.25) && level < 5 {
                     const AREALS: &[&str] = &["North", "South", "East", "West", "Nuclear", "Core", "Inner", "Coastal", "Highland", "Central"];
-                    format!("{} {stem}", AREALS.choose(rng).expect("static name pools are non-empty"))
-                } else {
-                    stem
+                    out.extend_from_slice(
+                        AREALS.choose(rng).expect("static name pools are non-empty").as_bytes(),
+                    );
+                    out.push(b' ');
                 }
+                out.extend_from_slice(scratch);
             }
             NameRegime::Icd => {
                 // Extend the parent's code: A00-A99 → A3 block → A31 →
@@ -158,18 +242,31 @@ impl Namer {
                 let parent_code = parent.split(' ').next().unwrap_or("X");
                 match level {
                     1 => {
-                        let letter = parent_code.chars().next().unwrap_or('X');
+                        let letter = parent_code.as_bytes().first().copied().unwrap_or(b'X');
                         let d = sibling_index % 10;
                         let site = pools::BODY_SITES.choose(rng).expect("static name pools are non-empty");
                         let stem = pools::DISEASE_STEMS.choose(rng).expect("static name pools are non-empty");
-                        format!("{letter}{d}0-{letter}{d}9 {} {stem}", capitalize(site))
+                        out.push(letter);
+                        push_digit(out, d);
+                        out.extend_from_slice(b"0-");
+                        out.push(letter);
+                        push_digit(out, d);
+                        out.extend_from_slice(b"9 ");
+                        push_cap(out, site);
+                        out.push(b' ');
+                        out.extend_from_slice(stem.as_bytes());
                     }
                     2 => {
                         let block = &parent_code[..2.min(parent_code.len())];
                         let d = sibling_index % 10;
                         let stem = pools::DISEASE_STEMS.choose(rng).expect("static name pools are non-empty");
                         let q = pools::AE_QUALIFIERS.choose(rng).expect("static name pools are non-empty");
-                        format!("{block}{d} {} {stem}", capitalize(q))
+                        out.extend_from_slice(block.as_bytes());
+                        push_digit(out, d);
+                        out.push(b' ');
+                        push_cap(out, q);
+                        out.push(b' ');
+                        out.extend_from_slice(stem.as_bytes());
                     }
                     _ => {
                         let code = parent_code.split('-').next().unwrap_or(parent_code);
@@ -177,11 +274,18 @@ impl Namer {
                         let cause = ["viral", "bacterial", "toxic", "traumatic", "congenital", "idiopathic", "autoimmune", "postprocedural"]
                             .choose(rng)
                             .expect("static name pools are non-empty");
-                        let tail: String = parent
-                            .split_once(' ')
-                            .map(|(_, rest)| rest.to_ascii_lowercase())
-                            .unwrap_or_default();
-                        format!("{code}.{d} {} {tail}", capitalize(cause))
+                        out.extend_from_slice(code.as_bytes());
+                        out.push(b'.');
+                        push_digit(out, d);
+                        out.push(b' ');
+                        push_cap(out, cause);
+                        out.push(b' ');
+                        if let Some((_, rest)) = parent.split_once(' ') {
+                            // Byte-wise lowercasing matches the char-wise
+                            // form: ASCII bytes map identically and bytes
+                            // >= 0x80 are left untouched by both.
+                            out.extend(rest.bytes().map(|b| b.to_ascii_lowercase()));
+                        }
                     }
                 }
             }
@@ -189,23 +293,46 @@ impl Namer {
                 // Embed the parent phrase: "<qualifier> <parent>".
                 let body = parent.strip_suffix(" AE").unwrap_or(parent);
                 let q = pools::AE_QUALIFIERS.choose(rng).expect("static name pools are non-empty");
-                format!("{q} {body} AE")
+                out.extend_from_slice(q.as_bytes());
+                out.push(b' ');
+                out.extend_from_slice(body.as_bytes());
+                out.extend_from_slice(b" AE");
             }
-            NameRegime::Ncbi => match level {
-                1 => format!("{}phyta", capitalize(&pseudo_word(rng, WordStyle::Plain, 2))),
-                2 => format!("{}opsida", capitalize(&pseudo_word(rng, WordStyle::Plain, 2))),
-                3 => format!("{}ales", capitalize(&pseudo_word(rng, WordStyle::Plain, 2))),
-                4 => format!("{}aceae", capitalize(&pseudo_word(rng, WordStyle::Plain, 2))),
-                5 => capitalize(&pseudo_word(rng, WordStyle::Latin, 2)),
-                _ => {
-                    // Species: "<Genus> <epithet>" — embeds the genus name,
-                    // which is what produces the paper's last-level uplift.
-                    let epithet = pseudo_word(rng, WordStyle::Latin, 2);
-                    format!("{parent} {epithet}")
+            NameRegime::Ncbi => {
+                let suffix: &[u8] = match level {
+                    1 => b"phyta",
+                    2 => b"opsida",
+                    3 => b"ales",
+                    4 => b"aceae",
+                    _ => b"",
+                };
+                match level {
+                    1..=4 => {
+                        pseudo_word_cap_into(rng, WordStyle::Plain, 2, out);
+                        out.extend_from_slice(suffix);
+                    }
+                    5 => {
+                        pseudo_word_cap_into(rng, WordStyle::Latin, 2, out);
+                    }
+                    _ => {
+                        // Species: "<Genus> <epithet>" — embeds the genus
+                        // name, which is what produces the paper's
+                        // last-level uplift.
+                        out.extend_from_slice(parent.as_bytes());
+                        out.push(b' ');
+                        pseudo_word_into(rng, WordStyle::Latin, 2, out);
+                    }
                 }
-            },
+            }
         }
     }
+}
+
+/// Append one decimal digit (`d` must be < 10) without `core::fmt`.
+#[inline]
+fn push_digit(out: &mut Vec<u8>, d: usize) {
+    debug_assert!(d < 10);
+    out.push(b'0' + d as u8);
 }
 
 /// Trailing CamelCase word of a name (`CreativeWork` → `Work`).

@@ -132,6 +132,111 @@ impl TaxonomyBuilder {
         id
     }
 
+    /// Reserve room for `nodes` more nodes carrying `name_bytes` more
+    /// bytes of name data in total. One call per production batch keeps
+    /// the arena columns at a single `reserve` each instead of paying
+    /// amortized-growth copies mid-splice.
+    pub fn reserve(&mut self, nodes: usize, name_bytes: usize) {
+        self.name_buf.reserve(name_bytes);
+        self.name_spans.reserve(nodes);
+        self.parent.reserve(nodes);
+        self.level.reserve(nodes);
+        self.child_count.reserve(nodes);
+    }
+
+    /// Append every name yielded by `names` as a child of `parent`, in
+    /// iterator order. Returns the id range of the new children (ids are
+    /// assigned consecutively). Combined with [`TaxonomyBuilder::reserve`]
+    /// this is the bulk path the chunked generator splices batches
+    /// through: one capacity check per batch, then straight appends.
+    ///
+    /// Panics if `parent` was not issued by this builder or the u32 index
+    /// space overflows, exactly like [`TaxonomyBuilder::add_child`].
+    pub fn extend_children<'a>(
+        &mut self,
+        parent: NodeId,
+        names: impl Iterator<Item = &'a str>,
+    ) -> std::ops::Range<u32> {
+        let start = u32::try_from(self.parent.len()).expect("taxonomy exceeds u32::MAX nodes");
+        let plevel = self.level[parent.index()] as usize;
+        let mut added = 0u32;
+        for name in names {
+            if plevel + 1 >= Self::MAX_LEVELS && self.deep_error.is_none() {
+                self.deep_error = Some(BuildError::TooDeep { name: name.to_owned() });
+            }
+            self.push_name(name);
+            self.parent.push(parent.raw());
+            self.level.push((plevel + 1).min(u8::MAX as usize) as u8);
+            self.child_count.push(0);
+            added += 1;
+        }
+        self.child_count[parent.index()] += added;
+        let end = start + added;
+        assert!(
+            (end as usize) == self.parent.len(),
+            "extend_children id range must match arena length"
+        );
+        start..end
+    }
+
+    /// Splice one whole production run: for the `i`-th parent in the
+    /// contiguous id range `parents` (all at the same level), attach
+    /// `counts[i]` children whose names are the next `counts[i]` entries
+    /// of `spans` (byte ranges into `names`), in order. This is the bulk
+    /// path level-at-a-time generators use: the name block lands with a
+    /// single `push_str`, spans are rebased in one pass, the level
+    /// column is filled with a single resize, and the parent column is
+    /// filled run-by-run — no per-name calls.
+    ///
+    /// Returns the id range of the new children. Panics if any parent id
+    /// is out of range, if the parents do not all share one level, if
+    /// `spans`/`counts` disagree, or if the u32 index space overflows —
+    /// the same contract as calling
+    /// [`TaxonomyBuilder::extend_children`] once per parent.
+    pub fn extend_level(
+        &mut self,
+        parents: std::ops::Range<u32>,
+        counts: &[u32],
+        names: &str,
+        spans: &[(u32, u32)],
+    ) -> std::ops::Range<u32> {
+        assert_eq!(parents.len(), counts.len(), "one child count per parent");
+        assert!(parents.end as usize <= self.parent.len(), "parent ids out of range");
+        let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+        assert_eq!(total as usize, spans.len(), "span count must match the child total");
+        let start = u32::try_from(self.parent.len()).expect("taxonomy exceeds u32::MAX nodes");
+        let end = u32::try_from(self.parent.len() as u64 + total)
+            .expect("taxonomy exceeds u32::MAX nodes");
+
+        let base = self.name_buf.len() as u32;
+        self.name_buf.push_str(names);
+        self.name_spans.extend(spans.iter().map(|&(s, e)| (base + s, base + e)));
+
+        if total > 0 {
+            let plevel = self.level[parents.start as usize] as usize;
+            assert!(
+                parents.clone().all(|p| self.level[p as usize] as usize == plevel),
+                "extend_level parents must share one level"
+            );
+            if plevel + 1 >= Self::MAX_LEVELS && self.deep_error.is_none() {
+                let (s, e) = spans[0];
+                self.deep_error =
+                    Some(BuildError::TooDeep { name: names[s as usize..e as usize].to_owned() });
+            }
+            self.level.resize(end as usize, (plevel + 1).min(u8::MAX as usize) as u8);
+        }
+        for (p, &c) in parents.zip(counts) {
+            if c == 0 {
+                continue;
+            }
+            self.parent.resize(self.parent.len() + c as usize, p);
+            self.child_count[p as usize] += c;
+        }
+        self.child_count.resize(self.parent.len(), 0);
+        debug_assert_eq!(self.parent.len(), end as usize);
+        start..end
+    }
+
     /// Add a child under `parent`. Panics if `parent` was not issued by
     /// this builder.
     pub fn add_child(&mut self, parent: NodeId, name: &str) -> NodeId {
@@ -174,9 +279,15 @@ impl TaxonomyBuilder {
             }
         }
 
-        // Per-level index.
+        // Per-level index, exact-sized: count first so the per-level
+        // vectors never reallocate while 2M+ ids stream in.
         let depth = self.level.iter().map(|&l| l as usize + 1).max().unwrap_or(0);
-        let mut by_level: Vec<Vec<NodeId>> = vec![Vec::new(); depth];
+        let mut level_counts = vec![0usize; depth];
+        for &l in &self.level {
+            level_counts[l as usize] += 1;
+        }
+        let mut by_level: Vec<Vec<NodeId>> =
+            level_counts.iter().map(|&c| Vec::with_capacity(c)).collect();
         for i in 0..n {
             by_level[self.level[i] as usize].push(NodeId(i as u32));
         }

@@ -46,6 +46,7 @@ pub mod io;
 pub mod merge;
 pub mod node;
 pub mod reason;
+pub mod snapshot;
 pub mod stats;
 pub mod traversal;
 pub mod validate;
@@ -55,5 +56,6 @@ pub use builder::{BuildError, TaxonomyBuilder};
 pub use index::NameIndex;
 pub use merge::merge;
 pub use node::NodeId;
+pub use snapshot::SnapshotStore;
 pub use stats::TaxonomyStats;
 pub use validate::{validate, ValidationError};

@@ -66,4 +66,22 @@ cargo run --release --offline -q -p taxoglimpse-bench --bin bench_eval -- \
     --check "$SMOKE_OUT"
 rm -f "$SMOKE_OUT"
 
+# 5. Data-production bench plumbing, same contract as stage 4: the
+#    committed BENCH_synth.json must pass shape validation, and a
+#    quick-mode run (tiny scales, snapshot cache in a temp dir) must
+#    produce a file that does too. Quick mode still asserts digest
+#    equality across worker counts, so the determinism contract is
+#    exercised — only the measurement is toy-sized.
+echo "==> synth bench smoke (TAXOGLIMPSE_BENCH_QUICK)"
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_synth -- \
+    --check BENCH_synth.json
+SMOKE_OUT="$(mktemp)"
+SMOKE_CACHE="$(mktemp -d)"
+TAXOGLIMPSE_BENCH_QUICK=1 TAXOGLIMPSE_CACHE_DIR="$SMOKE_CACHE" \
+    cargo run --release --offline -q \
+    -p taxoglimpse-bench --bin bench_synth -- --label "verify smoke" --out "$SMOKE_OUT"
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_synth -- \
+    --check "$SMOKE_OUT"
+rm -rf "$SMOKE_OUT" "$SMOKE_CACHE"
+
 echo "==> verify OK: hermetic tier-1 passed"

@@ -18,9 +18,10 @@ fn sample() -> Taxonomy {
     b.build().unwrap()
 }
 
-/// Byte offsets of every section boundary in the sample's encoding:
+/// Byte offsets of every section boundary in the sample's v2 encoding:
 /// after magic, version, label length, label bytes, node count, each
-/// parent word, and each length-prefixed name.
+/// parent word, the name-block length, each offset entry, and each name
+/// inside the contiguous name block.
 fn section_boundaries(t: &Taxonomy) -> Vec<usize> {
     let mut offsets = Vec::new();
     let mut pos = 4; // magic
@@ -37,10 +38,14 @@ fn section_boundaries(t: &Taxonomy) -> Vec<usize> {
         pos += 4; // parent word
         offsets.push(pos);
     }
-    for id in t.ids() {
-        pos += 4; // name length
+    pos += 8; // name-block byte count
+    offsets.push(pos);
+    for _ in 0..=t.len() {
+        pos += 4; // offset-table entry
         offsets.push(pos);
-        pos += t.name(id).len();
+    }
+    for id in t.ids() {
+        pos += t.name(id).len(); // name bytes within the block
         offsets.push(pos);
     }
     offsets
@@ -62,9 +67,11 @@ fn truncation_at_every_section_boundary_fails_cleanly() {
 #[test]
 fn truncation_at_every_byte_never_panics() {
     let t = sample();
-    let bytes = t.to_binary();
-    for cut in 0..bytes.len() {
-        assert!(Taxonomy::from_binary(&bytes[..cut]).is_err(), "cut at {cut}");
+    for bytes in [t.to_binary(), t.to_binary_v1()] {
+        for cut in 0..bytes.len() {
+            assert!(Taxonomy::from_binary(&bytes[..cut]).is_err(), "cut at {cut}");
+            assert!(Taxonomy::from_binary_owned(bytes[..cut].to_vec()).is_err(), "owned cut at {cut}");
+        }
     }
 }
 
@@ -80,11 +87,19 @@ fn bad_magic_is_rejected() {
 
 #[test]
 fn unsupported_version_is_rejected() {
+    // v1 and v2 are the supported formats; anything else must be
+    // rejected with the version echoed back, on both decode entry
+    // points.
     let mut bytes = sample().to_binary();
-    bytes[4..6].copy_from_slice(&2u16.to_le_bytes());
-    assert_eq!(Taxonomy::from_binary(&bytes).unwrap_err(), BinaryError::BadVersion(2));
+    bytes[4..6].copy_from_slice(&3u16.to_le_bytes());
+    assert_eq!(Taxonomy::from_binary(&bytes).unwrap_err(), BinaryError::BadVersion(3));
+    assert_eq!(
+        Taxonomy::from_binary_owned(bytes.clone()).unwrap_err(),
+        BinaryError::BadVersion(3)
+    );
     bytes[4..6].copy_from_slice(&0u16.to_le_bytes());
     assert_eq!(Taxonomy::from_binary(&bytes).unwrap_err(), BinaryError::BadVersion(0));
+    assert_eq!(Taxonomy::from_binary_owned(bytes).unwrap_err(), BinaryError::BadVersion(0));
 }
 
 #[test]
@@ -114,5 +129,29 @@ fn every_taxonomy_kind_round_trips() {
         assert_eq!(back.label(), t.label(), "{kind:?}");
         // Decode→encode is a byte-level fixed point.
         assert_eq!(Taxonomy::from_binary(&back.to_binary()).unwrap().to_binary(), back.to_binary());
+        // The buffer-consuming decoder (the snapshot-load fast path)
+        // produces the identical taxonomy, for both codec versions.
+        assert_eq!(Taxonomy::from_binary_owned(bytes).unwrap().to_binary(), back.to_binary());
+        assert_eq!(
+            Taxonomy::from_binary_owned(t.to_binary_v1()).unwrap().to_binary(),
+            Taxonomy::from_binary(&t.to_binary_v1()).unwrap().to_binary(),
+            "{kind:?}"
+        );
     }
+}
+
+#[test]
+fn owned_decode_handles_non_ascii_names() {
+    // Non-ASCII names take the slower UTF-8 validation + char-boundary
+    // path; the owned decoder must still reuse the buffer correctly.
+    let mut b = TaxonomyBuilder::new("unicode");
+    let r = b.add_root("Racine α");
+    b.add_child(r, "Enfant β");
+    b.add_child(r, "été");
+    let t = b.build().unwrap();
+    let back = Taxonomy::from_binary_owned(t.to_binary()).unwrap();
+    validate(&back).unwrap();
+    assert_eq!(back.to_binary(), t.to_binary());
+    let names: Vec<&str> = back.ids().map(|id| back.name(id)).collect();
+    assert_eq!(names, ["Racine α", "Enfant β", "été"]);
 }

@@ -121,6 +121,34 @@ fn reports_digest_is_pinned() {
     assert_eq!(digests, ["55e93db6e5f85df9", "ca98ddf7b5163d0a"]);
 }
 
+/// Pin the legacy (sequential) name streams of all ten kinds. The
+/// constants were captured before the allocation-free generator engine
+/// landed and must never move: `generate`'s byte output is the substrate
+/// under every pinned report digest (including `reports_digest_is_pinned`
+/// above), so a generator refactor is only admissible if this test still
+/// passes untouched.
+#[test]
+fn legacy_name_streams_are_pinned() {
+    use taxoglimpse::synth::rng::hash_str;
+    const PINS: [(TaxonomyKind, f64, u64); 10] = [
+        (TaxonomyKind::Ebay, 0.1, 0x1f64000b1945214c),
+        (TaxonomyKind::Amazon, 0.1, 0x9ee632a92f30d268),
+        (TaxonomyKind::Google, 0.1, 0xc651977aca086ab1),
+        (TaxonomyKind::Schema, 0.1, 0x39df1d98afaf25aa),
+        (TaxonomyKind::AcmCcs, 0.1, 0xe7bc33faa32a3013),
+        (TaxonomyKind::GeoNames, 0.1, 0xc5eba4852f191586),
+        (TaxonomyKind::Glottolog, 0.1, 0xc2a025ebb1320887),
+        (TaxonomyKind::Icd10Cm, 0.1, 0xf9ac7efb577b0860),
+        (TaxonomyKind::Oae, 0.1, 0x9eb5bcc8c5728b25),
+        (TaxonomyKind::Ncbi, 0.002, 0xf90b10051a1ce587),
+    ];
+    for (kind, scale, expected) in PINS {
+        let t = generate(kind, GenOptions { seed: 42, scale }).unwrap();
+        let digest = hash_str(0x7a67, &t.to_tsv());
+        assert_eq!(digest, expected, "{kind}: legacy name stream moved");
+    }
+}
+
 #[test]
 fn instance_typing_and_casestudy_are_deterministic() {
     use taxoglimpse::core::casestudy::{CaseStudy, CaseStudyConfig};
