@@ -58,11 +58,11 @@ fn bench_grid(b: &mut Bench) {
     let zoo = ModelZoo::default_zoo();
     let arcs: Vec<_> = ModelId::ALL.iter().map(|&id| zoo.get(id).unwrap()).collect();
     let models: Vec<&dyn LanguageModel> = arcs.iter().map(|a| a.as_ref() as &dyn LanguageModel).collect();
-    let sequential = GridRunner::new(Default::default(), 1);
+    let sequential = GridRunner::builder().with_threads(1).build();
     b.bench("grid/18_models_x_3_flavors/sequential", || {
         sequential.run_cross(&models, &dataset_refs)
     });
-    let parallel = GridRunner::with_available_parallelism(Default::default());
+    let parallel = GridRunner::builder().build();
     b.bench("grid/18_models_x_3_flavors/parallel", || {
         parallel.run_cross(&models, &dataset_refs)
     });

@@ -161,8 +161,11 @@ fn run_bench(opts: &BenchOptions) -> Json {
 
     let mut results = Vec::new();
     for setting in PromptSetting::ALL {
-        let runner = GridRunner::new(EvalConfig { setting, ..Default::default() }, opts.threads)
-            .with_chunk_size(opts.chunk);
+        let runner = GridRunner::builder()
+            .with_config(EvalConfig::default().with_setting(setting))
+            .with_threads(opts.threads)
+            .with_chunk_size(opts.chunk)
+            .build();
         let mut best = f64::INFINITY;
         let mut total = 0.0;
         let mut digest = 0xBA5E_11AEu64;

@@ -34,7 +34,7 @@ fn main() {
     let arcs: Vec<_> = opts.model_list().iter().map(|&id| zoo.get(id).expect("zoo")).collect();
     let models: Vec<&dyn LanguageModel> = arcs.iter().map(|m| m.as_ref() as &dyn LanguageModel).collect();
 
-    let reports = GridRunner::with_available_parallelism(Default::default()).run_cross(&models, &dataset_refs);
+    let reports = GridRunner::builder().build().run_cross(&models, &dataset_refs);
     println!("{}", render(&leaderboard(&reports)));
 
     // Failure analysis: polarity + similarity bands on Glottolog hard.

@@ -10,7 +10,7 @@ use taxoglimpse_bench::{build_dataset, RunOptions, TaxonomyCache};
 use taxoglimpse_core::dataset::QuestionDataset;
 use taxoglimpse_core::domain::TaxonomyKind;
 use taxoglimpse_core::eval::score;
-use taxoglimpse_core::metrics::Metrics;
+use taxoglimpse_core::metrics::{Metrics, Outcome};
 use taxoglimpse_core::model::{LanguageModel, Query};
 use taxoglimpse_core::parse::{parse_mcq, parse_tf};
 use taxoglimpse_core::prompts::{render_prompt_n, PromptSetting};
@@ -51,13 +51,18 @@ fn main() {
                 let exemplars = &slice.exemplars[..shots.min(slice.exemplars.len())];
                 for question in &slice.questions {
                     let prompt = render_prompt_n(question, setting, TemplateVariant::Canonical, exemplars, shots);
-                    let query = Query { prompt: &prompt, question, setting };
-                    let response = model.answer(&query);
-                    let parsed = match question.kind() {
-                        QuestionKind::TrueFalse => parse_tf(&response),
-                        QuestionKind::Mcq => parse_mcq(&response),
+                    let query = Query::new(&prompt, question, setting);
+                    let outcome = match model.answer(&query) {
+                        Ok(response) => {
+                            let parsed = match question.kind() {
+                                QuestionKind::TrueFalse => parse_tf(&response.text),
+                                QuestionKind::Mcq => parse_mcq(&response.text),
+                            };
+                            score(question, parsed)
+                        }
+                        Err(_) => Outcome::Failed,
                     };
-                    metrics.record(score(question, parsed));
+                    metrics.record(outcome);
                 }
             }
             row_a.push(fmt3(metrics.accuracy()));

@@ -39,7 +39,7 @@ fn main() {
 
     let cache = TaxonomyCache::new();
     let zoo = ModelZoo::default_zoo();
-    let runner = GridRunner::with_available_parallelism(EvalConfig::default());
+    let runner = GridRunner::builder().with_config(EvalConfig::default()).build();
     let models = opts.model_list();
 
     for flavor in flavors {

@@ -148,7 +148,7 @@ mod tests {
     use crate::prompts::PromptSetting;
 
     fn metrics(correct: usize, wrong: usize) -> Metrics {
-        Metrics { correct, missed: 0, wrong }
+        Metrics { correct, missed: 0, wrong, failed: 0 }
     }
 
     #[test]
@@ -208,6 +208,7 @@ mod tests {
                         correct: (a * 1000.0) as usize,
                         missed: 0,
                         wrong: 1000 - (a * 1000.0) as usize,
+                        failed: 0,
                     },
                 })
                 .collect(),

@@ -16,7 +16,7 @@
 
 use crate::domain::TaxonomyKind;
 use crate::metrics::Outcome;
-use crate::model::{LanguageModel, Query};
+use crate::model::{LanguageModel, ModelError, Query};
 use crate::parse::{parse_tf, ParsedAnswer};
 use crate::prompts::PromptSetting;
 use crate::question::{NegativeKind, Question, QuestionBody};
@@ -119,7 +119,9 @@ impl<'t> CaseStudy<'t> {
                 classifications += 1;
                 match self.classify(model, &inst.name, concept) {
                     Outcome::Correct => tp += 1, // returned, truly under concept
-                    Outcome::Missed | Outcome::Wrong => fn_ += 1, // withheld or abstained
+                    // Withheld, abstained, or never answered (failed
+                    // delivery): the product is not retrieved either way.
+                    Outcome::Missed | Outcome::Wrong | Outcome::Failed => fn_ += 1,
                 }
             }
             for inst in &sibling_products {
@@ -163,19 +165,30 @@ impl<'t> CaseStudy<'t> {
         }
     }
 
-    fn ask(&self, model: &dyn LanguageModel, question: &Question) -> ParsedAnswer {
+    fn ask(
+        &self,
+        model: &dyn LanguageModel,
+        question: &Question,
+    ) -> Result<ParsedAnswer, ModelError> {
         let prompt = render_question(question, TemplateVariant::Canonical);
-        let query = Query { prompt: &prompt, question, setting: PromptSetting::ZeroShot };
-        parse_tf(&model.answer(&query))
+        let query = Query::new(&prompt, question, PromptSetting::ZeroShot);
+        Ok(parse_tf(&model.answer(&query)?.text))
     }
 
     /// Classify a product that truly belongs to `concept`.
     fn classify(&self, model: &dyn LanguageModel, product: &str, concept: taxoglimpse_taxonomy::NodeId) -> Outcome {
         let q = self.make_question(product, concept, true);
         match self.ask(model, &q) {
-            ParsedAnswer::Yes => Outcome::Correct,
-            ParsedAnswer::IDontKnow => Outcome::Missed,
-            ParsedAnswer::No | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed => Outcome::Wrong,
+            Ok(ParsedAnswer::Yes) => Outcome::Correct,
+            Ok(ParsedAnswer::IDontKnow) => Outcome::Missed,
+            Ok(ParsedAnswer::No | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed) => Outcome::Wrong,
+            Err(
+                ModelError::Timeout
+                | ModelError::RateLimited { .. }
+                | ModelError::Truncated { .. }
+                | ModelError::Unavailable
+                | ModelError::Malformed,
+            ) => Outcome::Failed,
         }
     }
 
@@ -185,9 +198,16 @@ impl<'t> CaseStudy<'t> {
     fn classify_negative(&self, model: &dyn LanguageModel, product: &str, concept: taxoglimpse_taxonomy::NodeId) -> Outcome {
         let q = self.make_question(product, concept, false);
         match self.ask(model, &q) {
-            ParsedAnswer::No => Outcome::Correct,
-            ParsedAnswer::IDontKnow => Outcome::Missed,
-            ParsedAnswer::Yes | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed => Outcome::Wrong,
+            Ok(ParsedAnswer::No) => Outcome::Correct,
+            Ok(ParsedAnswer::IDontKnow) => Outcome::Missed,
+            Ok(ParsedAnswer::Yes | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed) => Outcome::Wrong,
+            Err(
+                ModelError::Timeout
+                | ModelError::RateLimited { .. }
+                | ModelError::Truncated { .. }
+                | ModelError::Unavailable
+                | ModelError::Malformed,
+            ) => Outcome::Failed,
         }
     }
 }

@@ -90,11 +90,21 @@ impl DetailedRun {
         for slice in &dataset.levels {
             for question in &slice.questions {
                 let prompt = render_prompt(question, config.setting, config.variant, &slice.exemplars);
-                let query = Query { prompt: &prompt, question, setting: config.setting };
-                let response = model.answer(&query);
-                let parsed = match question.kind() {
-                    QuestionKind::TrueFalse => parse_tf(&response),
-                    QuestionKind::Mcq => parse_mcq(&response),
+                let query = Query::new(&prompt, question, config.setting);
+                // A failed delivery is recorded faithfully: the error
+                // display stands in for the (absent) response text, the
+                // answer is unparsed, and the outcome is Failed.
+                let (response, parsed, outcome) = match model.answer(&query) {
+                    Ok(ok) => {
+                        let parsed = match question.kind() {
+                            QuestionKind::TrueFalse => parse_tf(&ok.text),
+                            QuestionKind::Mcq => parse_mcq(&ok.text),
+                        };
+                        (ok.text, parsed, score(question, parsed))
+                    }
+                    Err(error) => {
+                        (format!("[{error}]"), ParsedAnswer::Unparsed, Outcome::Failed)
+                    }
                 };
                 exchanges.push(Exchange {
                     question_id: question.id,
@@ -103,7 +113,7 @@ impl DetailedRun {
                     prompt,
                     response,
                     parsed,
-                    outcome: score(question, parsed),
+                    outcome,
                     similarity: candidate_similarity(question),
                 });
             }

@@ -109,8 +109,13 @@ impl<'t> Enricher<'t> {
             },
         };
         let prompt = render_question(&question, TemplateVariant::Canonical);
-        let query = Query { prompt: &prompt, question: &question, setting: PromptSetting::ZeroShot };
-        parse_tf(&model.answer(&query))
+        let query = Query::new(&prompt, &question, PromptSetting::ZeroShot);
+        // A failed delivery reads as not-confirmed: reattachment then
+        // falls back to the lexical shortlist, never to a guess.
+        match model.answer(&query) {
+            Ok(response) => parse_tf(&response.text),
+            Err(_) => ParsedAnswer::Unparsed,
+        }
     }
 }
 
@@ -207,7 +212,7 @@ fn surface_score(entity: &str, concept: &str) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::FixedAnswerModel;
+    use crate::model::{FixedAnswerModel, ModelError, Response};
     use taxoglimpse_synth::{generate, GenOptions};
 
     /// Oracle that confirms exactly the true parent (it compares the
@@ -221,15 +226,12 @@ mod tests {
             "containment-oracle"
         }
 
-        fn answer(&self, query: &Query<'_>) -> String {
+        fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
             let QuestionBody::TrueFalse { candidate, .. } = &query.question.body else {
-                return "I don't know.".to_owned();
+                return Ok(Response::new("I don't know.".to_owned()));
             };
-            if query.question.child.to_ascii_lowercase().contains(&candidate.to_ascii_lowercase()) {
-                "Yes.".to_owned()
-            } else {
-                "No.".to_owned()
-            }
+            let yes = query.question.child.to_ascii_lowercase().contains(&candidate.to_ascii_lowercase());
+            Ok(Response::new(if yes { "Yes." } else { "No." }.to_owned()))
         }
     }
 

@@ -9,6 +9,7 @@ use crate::model::{LanguageModel, Query};
 use crate::parse::{parse_mcq, parse_tf, ParsedAnswer};
 use crate::prompts::{render_prefix, render_prompt, render_prompt_into, PromptSetting};
 use crate::question::{Question, QuestionBody, QuestionKind};
+use crate::resilience::{ResiliencePolicy, ResilienceSession};
 use crate::templates::TemplateVariant;
 use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
 
@@ -19,6 +20,20 @@ pub struct EvalConfig {
     pub setting: PromptSetting,
     /// Template paraphrase variant (canonical by default).
     pub variant: TemplateVariant,
+}
+
+impl EvalConfig {
+    /// Override the prompting setting.
+    pub fn with_setting(mut self, setting: PromptSetting) -> Self {
+        self.setting = setting;
+        self
+    }
+
+    /// Override the template paraphrase variant.
+    pub fn with_variant(mut self, variant: TemplateVariant) -> Self {
+        self.variant = variant;
+        self
+    }
 }
 
 /// Metrics for one child level.
@@ -137,17 +152,31 @@ pub fn score(question: &Question, parsed: ParsedAnswer) -> Outcome {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Evaluator {
     config: EvalConfig,
+    resilience: ResiliencePolicy,
 }
 
 impl Evaluator {
-    /// Create an evaluator with the given configuration.
+    /// Create an evaluator with the given configuration and the default
+    /// resilience policy (3 deliveries, exponential backoff, breaker
+    /// on — all invisible while models never fail).
     pub fn new(config: EvalConfig) -> Self {
-        Evaluator { config }
+        Evaluator { config, resilience: ResiliencePolicy::default() }
+    }
+
+    /// Override the resilience policy applied to every model call.
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
     }
 
     /// The active configuration.
     pub fn config(&self) -> EvalConfig {
         self.config
+    }
+
+    /// The resilience policy in force.
+    pub fn resilience(&self) -> ResiliencePolicy {
+        self.resilience
     }
 
     /// Evaluate `model` on every question of `dataset`.
@@ -189,6 +218,12 @@ impl Evaluator {
     /// renders the few-shot prefix once for the whole run and each
     /// target question into the reused `buf`, so the steady state
     /// allocates nothing per query.
+    ///
+    /// Every run gets a *fresh* [`ResilienceSession`]: retry, backoff
+    /// and breaker state are local to the question sequence, never
+    /// shared across grid chunks — a chunk's outcome bytes therefore
+    /// depend only on the chunk, not on worker count or scheduling.
+    /// Queries the session gives up on score as [`Outcome::Failed`].
     fn eval_questions(
         &self,
         model: &dyn LanguageModel,
@@ -198,21 +233,28 @@ impl Evaluator {
     ) -> Metrics {
         let prefix =
             render_prefix(self.config.setting, self.config.variant, exemplars, PromptSetting::SHOTS);
+        let mut session = ResilienceSession::new(self.resilience);
         let mut metrics = Metrics::default();
         for question in questions {
             render_prompt_into(question, self.config.setting, self.config.variant, &prefix, buf);
-            let query = Query { prompt: buf, question, setting: self.config.setting };
-            let response = model.answer(&query);
-            let parsed = match question.kind() {
-                QuestionKind::TrueFalse => parse_tf(&response),
-                QuestionKind::Mcq => parse_mcq(&response),
+            let query = Query::new(buf, question, self.config.setting);
+            let outcome = match session.call(model, &query) {
+                Ok(response) => {
+                    let parsed = match question.kind() {
+                        QuestionKind::TrueFalse => parse_tf(&response.text),
+                        QuestionKind::Mcq => parse_mcq(&response.text),
+                    };
+                    score(question, parsed)
+                }
+                Err(_) => Outcome::Failed,
             };
-            metrics.record(score(question, parsed));
+            metrics.record(outcome);
         }
         metrics
     }
 
-    /// Ask a single question and score the response.
+    /// Ask a single question and score the response (with a one-shot
+    /// resilience session).
     pub fn ask(
         &self,
         model: &dyn LanguageModel,
@@ -220,13 +262,18 @@ impl Evaluator {
         exemplars: &[Question],
     ) -> Outcome {
         let prompt = render_prompt(question, self.config.setting, self.config.variant, exemplars);
-        let query = Query { prompt: &prompt, question, setting: self.config.setting };
-        let response = model.answer(&query);
-        let parsed = match question.kind() {
-            QuestionKind::TrueFalse => parse_tf(&response),
-            QuestionKind::Mcq => parse_mcq(&response),
-        };
-        score(question, parsed)
+        let query = Query::new(&prompt, question, self.config.setting);
+        let mut session = ResilienceSession::new(self.resilience);
+        match session.call(model, &query) {
+            Ok(response) => {
+                let parsed = match question.kind() {
+                    QuestionKind::TrueFalse => parse_tf(&response.text),
+                    QuestionKind::Mcq => parse_mcq(&response.text),
+                };
+                score(question, parsed)
+            }
+            Err(_) => Outcome::Failed,
+        }
     }
 }
 

@@ -19,6 +19,7 @@ use crate::dataset::Dataset;
 use crate::eval::{EvalConfig, EvalReport, Evaluator, LevelMetrics};
 use crate::metrics::Metrics;
 use crate::model::LanguageModel;
+use crate::resilience::ResiliencePolicy;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -54,23 +55,95 @@ pub struct GridRunner {
     config: EvalConfig,
     threads: usize,
     chunk_size: usize,
+    resilience: ResiliencePolicy,
+}
+
+/// Builds a [`GridRunner`]: the one place to set the evaluation
+/// configuration, worker count, chunk granularity and resilience
+/// policy. Defaults: `EvalConfig::default()`, the machine's available
+/// parallelism, [`DEFAULT_CHUNK_SIZE`], [`ResiliencePolicy::default`].
+#[derive(Debug, Clone, Copy)]
+pub struct GridRunnerBuilder {
+    config: EvalConfig,
+    threads: Option<usize>,
+    chunk_size: usize,
+    resilience: ResiliencePolicy,
+}
+
+impl Default for GridRunnerBuilder {
+    fn default() -> Self {
+        GridRunnerBuilder {
+            config: EvalConfig::default(),
+            threads: None,
+            chunk_size: DEFAULT_CHUNK_SIZE,
+            resilience: ResiliencePolicy::default(),
+        }
+    }
+}
+
+impl GridRunnerBuilder {
+    /// Set the evaluation configuration (setting + template variant).
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the worker count (clamped to ≥ 1). Unset = available
+    /// parallelism.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
+    /// Set the questions-per-work-unit granularity (clamped to ≥ 1).
+    /// With a fixed fault plan, results are identical for every worker
+    /// count; chunk size additionally scopes per-chunk resilience
+    /// sessions, so it is part of a run's deterministic identity.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Set the resilience policy applied inside every chunk.
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Finish: resolve defaults into a runner.
+    pub fn build(self) -> GridRunner {
+        let threads = self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        });
+        GridRunner {
+            config: self.config,
+            threads,
+            chunk_size: self.chunk_size,
+            resilience: self.resilience,
+        }
+    }
 }
 
 impl GridRunner {
+    /// Start building a runner.
+    pub fn builder() -> GridRunnerBuilder {
+        GridRunnerBuilder::default()
+    }
+
     /// A runner using up to `threads` workers (clamped to ≥ 1).
+    #[deprecated(since = "0.2.0", note = "use GridRunner::builder().with_config(..).with_threads(..)")]
     pub fn new(config: EvalConfig, threads: usize) -> Self {
-        GridRunner { config, threads: threads.max(1), chunk_size: DEFAULT_CHUNK_SIZE }
+        Self::builder().with_config(config).with_threads(threads).build()
     }
 
     /// A runner sized to the machine's available parallelism.
     pub fn with_available_parallelism(config: EvalConfig) -> Self {
-        let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
-        Self::new(config, threads)
+        Self::builder().with_config(config).build()
     }
 
     /// Override the questions-per-work-unit granularity (clamped to
-    /// ≥ 1). Results are identical for every chunk size; only load
-    /// balance changes.
+    /// ≥ 1).
+    #[deprecated(since = "0.2.0", note = "use GridRunner::builder().with_chunk_size(..)")]
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size.max(1);
         self
@@ -105,7 +178,7 @@ impl GridRunner {
         datasets: &[&Dataset],
         cells: &[GridCell],
     ) -> Vec<EvalReport> {
-        let evaluator = Evaluator::new(self.config);
+        let evaluator = Evaluator::new(self.config).with_resilience(self.resilience);
 
         // Split every cell into (level, question-range) work units —
         // cell-major, level-major, ascending start, so merging unit
@@ -179,19 +252,28 @@ impl GridRunner {
 
         // Failures are aggregated per *cell* (first failing chunk's
         // reason speaks for the cell), preserving the cell-identity
-        // panic contract at chunk granularity.
+        // panic contract at chunk granularity — and naming the failing
+        // chunk's level and question-index range so a panic in one
+        // chunk of a 100k-question cell is findable.
         let failures: Vec<String> = cells
             .iter()
             .zip(&cell_units)
             .filter_map(|(cell, range)| {
-                let reason = outcomes[range.clone()].iter().find_map(|o| match o {
-                    Some(Err(reason)) => Some(reason),
-                    _ => None,
-                })?;
+                let (unit, reason) = units[range.clone()]
+                    .iter()
+                    .zip(&outcomes[range.clone()])
+                    .find_map(|(unit, o)| match o {
+                        Some(Err(reason)) => Some((unit, reason)),
+                        _ => None,
+                    })?;
+                let dataset = datasets[cell.dataset];
                 Some(format!(
-                    "cell (model `{}`, dataset `{:?}`): {reason}",
+                    "cell (model `{}`, dataset `{:?}`) level {} questions {}..{}: {reason}",
                     models[cell.model].name(),
-                    datasets[cell.dataset].taxonomy,
+                    dataset.taxonomy,
+                    dataset.levels[unit.level].child_level,
+                    unit.start,
+                    unit.end,
                 ))
             })
             .collect();
@@ -287,7 +369,7 @@ mod tests {
                     .map(|d| Evaluator::new(EvalConfig::default()).run(*m, d))
             })
             .collect();
-        let parallel = GridRunner::new(EvalConfig::default(), 4).run_cross(&models, &dataset_refs);
+        let parallel = GridRunner::builder().with_threads(4).build().run_cross(&models, &dataset_refs);
 
         assert_eq!(parallel.len(), sequential.len());
         for (p, s) in parallel.iter().zip(&sequential) {
@@ -303,8 +385,31 @@ mod tests {
         let dataset_refs: Vec<&Dataset> = ds.iter().collect();
         let yes = FixedAnswerModel::always_yes();
         let models: Vec<&dyn LanguageModel> = vec![&yes];
-        let reports = GridRunner::new(EvalConfig::default(), 1).run_cross(&models, &dataset_refs);
+        let reports = GridRunner::builder().with_threads(1).build().run_cross(&models, &dataset_refs);
         assert_eq!(reports.len(), 2);
+    }
+
+    /// The deprecated constructors must keep working (and agreeing with
+    /// the builder) for the shim release.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let ds = datasets();
+        let dataset_refs: Vec<&Dataset> = ds.iter().collect();
+        let yes = FixedAnswerModel::always_yes();
+        let models: Vec<&dyn LanguageModel> = vec![&yes];
+        let via_shim = GridRunner::new(EvalConfig::default(), 2)
+            .with_chunk_size(7)
+            .run_cross(&models, &dataset_refs);
+        let via_builder = GridRunner::builder()
+            .with_threads(2)
+            .with_chunk_size(7)
+            .build()
+            .run_cross(&models, &dataset_refs);
+        assert_eq!(via_shim.len(), via_builder.len());
+        for (a, b) in via_shim.iter().zip(&via_builder) {
+            assert_eq!(a.overall, b.overall);
+        }
     }
 
     #[test]
@@ -317,14 +422,17 @@ mod tests {
             GridCell { model: 0, dataset: 1 },
             GridCell { model: 0, dataset: 0 },
         ];
-        let reports = GridRunner::new(EvalConfig::default(), 8).run_cells(&models, &dataset_refs, &cells);
+        let reports = GridRunner::builder()
+            .with_threads(8)
+            .build()
+            .run_cells(&models, &dataset_refs, &cells);
         assert_eq!(reports[0].taxonomy, TaxonomyKind::GeoNames);
         assert_eq!(reports[1].taxonomy, TaxonomyKind::Ebay);
     }
 
     #[test]
     fn empty_grid_is_fine() {
-        let reports = GridRunner::new(EvalConfig::default(), 4).run_cells(&[], &[], &[]);
+        let reports = GridRunner::builder().with_threads(4).build().run_cells(&[], &[], &[]);
         assert!(reports.is_empty());
     }
 
@@ -335,7 +443,10 @@ mod tests {
             "panicker"
         }
 
-        fn answer(&self, _query: &crate::model::Query<'_>) -> String {
+        fn answer(
+            &self,
+            _query: &crate::model::Query<'_>,
+        ) -> Result<crate::model::Response, crate::model::ModelError> {
             panic!("synthetic cell failure")
         }
     }
@@ -349,7 +460,7 @@ mod tests {
         let models: Vec<&dyn LanguageModel> = vec![&yes, &bad];
 
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            GridRunner::new(EvalConfig::default(), 4).run_cross(&models, &dataset_refs)
+            GridRunner::builder().with_threads(4).build().run_cross(&models, &dataset_refs)
         }));
         let message = panic_message(result.expect_err("grid should surface the failure").as_ref());
         assert!(message.contains("2 grid cell(s) panicked"), "{message}");
@@ -357,5 +468,63 @@ mod tests {
         assert!(message.contains("Ebay") && message.contains("GeoNames"), "{message}");
         assert!(message.contains("synthetic cell failure"), "{message}");
         assert!(!message.contains("always-yes"), "healthy cells must not be blamed: {message}");
+    }
+
+    /// Regression (PR 5): the panic report names the failing chunk's
+    /// level and question-index range, not just the cell identity.
+    #[test]
+    fn panic_report_names_level_and_question_range() {
+        let ds = datasets();
+        let dataset_refs: Vec<&Dataset> = vec![&ds[0]];
+        let bad = PanickingModel;
+        let models: Vec<&dyn LanguageModel> = vec![&bad];
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            GridRunner::builder()
+                .with_threads(1)
+                .with_chunk_size(5)
+                .build()
+                .run_cross(&models, &dataset_refs)
+        }));
+        let message = panic_message(result.expect_err("grid should surface the failure").as_ref());
+        let first_level = ds[0].levels[0].child_level;
+        assert!(
+            message.contains(&format!("level {first_level} questions 0..5")),
+            "chunked failure must carry its question range: {message}"
+        );
+    }
+
+    /// Failing model calls degrade gracefully through the grid: the
+    /// cell completes with `Failed` outcomes and availability < 100%,
+    /// and healthy cells are untouched.
+    #[test]
+    fn failed_calls_flow_into_availability() {
+        struct DownModel;
+        impl LanguageModel for DownModel {
+            fn name(&self) -> &str {
+                "down"
+            }
+            fn answer(
+                &self,
+                _query: &crate::model::Query<'_>,
+            ) -> Result<crate::model::Response, crate::model::ModelError> {
+                Err(crate::model::ModelError::Unavailable)
+            }
+        }
+
+        let ds = datasets();
+        let dataset_refs: Vec<&Dataset> = vec![&ds[0]];
+        let yes = FixedAnswerModel::always_yes();
+        let down = DownModel;
+        let models: Vec<&dyn LanguageModel> = vec![&yes, &down];
+        let reports = GridRunner::builder()
+            .with_threads(4)
+            .build()
+            .run_cross(&models, &dataset_refs);
+        assert_eq!(reports[0].overall.availability(), 1.0);
+        assert_eq!(reports[0].overall.failed, 0);
+        assert_eq!(reports[1].overall.availability(), 0.0, "every call failed");
+        assert_eq!(reports[1].overall.failed, reports[1].overall.total());
+        assert_eq!(reports[1].overall.accuracy(), 0.0);
     }
 }

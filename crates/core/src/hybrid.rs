@@ -91,13 +91,18 @@ impl HybridTaxonomy {
         }
         let question = self.model_question(child, ancestor);
         let prompt = render_question(&question, TemplateVariant::Canonical);
-        let query = Query { prompt: &prompt, question: &question, setting: PromptSetting::ZeroShot };
-        let verdict = match parse_tf(&model.answer(&query)) {
-            ParsedAnswer::Yes => IsA::Yes,
-            ParsedAnswer::No => IsA::No,
-            ParsedAnswer::IDontKnow | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed => {
-                IsA::Unknown
-            }
+        let query = Query::new(&prompt, &question, PromptSetting::ZeroShot);
+        // A failed delivery degrades to Unknown — the same epistemic
+        // state as an abstention for the router.
+        let verdict = match model.answer(&query) {
+            Ok(response) => match parse_tf(&response.text) {
+                ParsedAnswer::Yes => IsA::Yes,
+                ParsedAnswer::No => IsA::No,
+                ParsedAnswer::IDontKnow | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed => {
+                    IsA::Unknown
+                }
+            },
+            Err(_) => IsA::Unknown,
         };
         (verdict, AnsweredBy::Model)
     }
@@ -132,13 +137,18 @@ impl HybridTaxonomy {
     fn is_a_via_model(&self, child: &str, ancestor: &str, model: &dyn LanguageModel) -> (IsA, AnsweredBy) {
         let question = self.model_question(child, ancestor);
         let prompt = render_question(&question, TemplateVariant::Canonical);
-        let query = Query { prompt: &prompt, question: &question, setting: PromptSetting::ZeroShot };
-        let verdict = match parse_tf(&model.answer(&query)) {
-            ParsedAnswer::Yes => IsA::Yes,
-            ParsedAnswer::No => IsA::No,
-            ParsedAnswer::IDontKnow | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed => {
-                IsA::Unknown
-            }
+        let query = Query::new(&prompt, &question, PromptSetting::ZeroShot);
+        // A failed delivery degrades to Unknown — the same epistemic
+        // state as an abstention for the router.
+        let verdict = match model.answer(&query) {
+            Ok(response) => match parse_tf(&response.text) {
+                ParsedAnswer::Yes => IsA::Yes,
+                ParsedAnswer::No => IsA::No,
+                ParsedAnswer::IDontKnow | ParsedAnswer::Option(_) | ParsedAnswer::Unparsed => {
+                    IsA::Unknown
+                }
+            },
+            Err(_) => IsA::Unknown,
         };
         (verdict, AnsweredBy::Model)
     }
@@ -246,7 +256,7 @@ fn name_overlap(a: &str, b: &str) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::FixedAnswerModel;
+    use crate::model::{FixedAnswerModel, ModelError, Response};
     use taxoglimpse_synth::{generate, GenOptions};
 
     fn amazon() -> Taxonomy {
@@ -359,12 +369,12 @@ mod tests {
             "oracle"
         }
 
-        fn answer(&self, query: &Query<'_>) -> String {
-            match query.question.gold() {
+        fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+            Ok(Response::new(match query.question.gold() {
                 crate::question::GoldAnswer::Yes => "Yes.".to_owned(),
                 crate::question::GoldAnswer::No => "No.".to_owned(),
                 crate::question::GoldAnswer::Option(i) => format!("{})", (b'A' + i) as char),
-            }
+            }))
         }
     }
 

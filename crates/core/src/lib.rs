@@ -15,9 +15,14 @@
 //! * **Prompting settings** (§4.4): zero-shot, five-shot and
 //!   chain-of-thought rendering ([`prompts`], the paper's Figure 5).
 //! * **Model interface**: the [`model::LanguageModel`] trait takes
-//!   rendered prompt text and returns free natural-language text, which
-//!   the harness parses with [`parse`].
-//! * **Metrics** (§3.3): accuracy *A* and miss rate *M* ([`metrics`]).
+//!   rendered prompt text and returns free natural-language text —
+//!   fallibly ([`model::ModelError`]), because real serving stacks
+//!   fail; the harness parses successful text with [`parse`].
+//! * **Resilience** ([`resilience`]): deterministic retry/backoff and
+//!   circuit breaking over the fallible model API; exhausted queries
+//!   score as `Failed` and lower a report's availability.
+//! * **Metrics** (§3.3): accuracy *A*, miss rate *M* and availability
+//!   ([`metrics`]).
 //! * **Evaluation harness** (§4): [`eval::Evaluator`] producing overall
 //!   and per-level reports.
 //! * **Instance typing** (§4.5): [`instance_typing`].
@@ -42,6 +47,7 @@ pub mod parse;
 pub mod prompts;
 pub mod qgen;
 pub mod question;
+pub mod resilience;
 pub mod sampling;
 pub mod store;
 pub mod templates;
@@ -52,6 +58,7 @@ pub use eval::{EvalConfig, EvalReport, Evaluator};
 pub use grid::GridRunner;
 pub use hybrid::HybridTaxonomy;
 pub use metrics::Metrics;
-pub use model::{LanguageModel, Query};
+pub use model::{LanguageModel, ModelError, Query, Response};
 pub use prompts::PromptSetting;
 pub use question::{NegativeKind, Question, QuestionBody, QuestionKind};
+pub use resilience::{BackoffPolicy, BreakerPolicy, Resilient, ResiliencePolicy};

@@ -17,12 +17,29 @@ pub struct Metrics {
     pub missed: usize,
     /// Questions answered incorrectly (including unparseable output).
     pub wrong: usize,
+    /// Questions whose model call failed even after retries — no answer
+    /// was ever scored. Distinct from `missed`: a miss is the model
+    /// declining to answer; a failure is the serving layer never
+    /// delivering one.
+    pub failed: usize,
 }
 
 impl Metrics {
-    /// Total questions seen.
+    /// Total questions seen (failed deliveries included).
     pub fn total(&self) -> usize {
-        self.correct + self.missed + self.wrong
+        self.correct + self.missed + self.wrong + self.failed
+    }
+
+    /// Availability: the fraction of questions that got *any* answer
+    /// (1 − failed/total; 1 for an empty set, matching a fault-free
+    /// default).
+    pub fn availability(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            1.0
+        } else {
+            1.0 - self.failed as f64 / total as f64
+        }
     }
 
     /// Accuracy *A*: correct / total (0 for an empty set).
@@ -47,6 +64,7 @@ impl Metrics {
             Outcome::Correct => self.correct += 1,
             Outcome::Missed => self.missed += 1,
             Outcome::Wrong => self.wrong += 1,
+            Outcome::Failed => self.failed += 1,
         }
     }
 
@@ -83,22 +101,33 @@ impl AddAssign for Metrics {
         self.correct += rhs.correct;
         self.missed += rhs.missed;
         self.wrong += rhs.wrong;
+        self.failed += rhs.failed;
     }
 }
 
 impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "A={:.3} M={:.3} (n={})", self.accuracy(), self.miss_rate(), self.total())
+        write!(f, "A={:.3} M={:.3} (n={})", self.accuracy(), self.miss_rate(), self.total())?;
+        if self.failed > 0 {
+            write!(f, " F={}", self.failed)?;
+        }
+        Ok(())
     }
 }
 
 impl ToJson for Metrics {
     fn to_json(&self) -> Json {
-        Json::obj(vec![
+        let mut fields = vec![
             ("correct", self.correct.to_json()),
             ("missed", self.missed.to_json()),
             ("wrong", self.wrong.to_json()),
-        ])
+        ];
+        // `failed` is serialized only when non-zero: fault-free runs
+        // must stay byte-identical to the pinned pre-resilience digests.
+        if self.failed > 0 {
+            fields.push(("failed", self.failed.to_json()));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -108,6 +137,10 @@ impl FromJson for Metrics {
             correct: json.field_as("correct")?,
             missed: json.field_as("missed")?,
             wrong: json.field_as("wrong")?,
+            failed: match json.get("failed") {
+                Some(v) => usize::from_json(v)?,
+                None => 0,
+            },
         })
     }
 }
@@ -119,11 +152,13 @@ pub enum Outcome {
     Correct,
     /// Explicit abstention.
     Missed,
-    /// Anything else.
+    /// Anything else that was actually answered.
     Wrong,
+    /// The model call failed (after any retries); nothing to score.
+    Failed,
 }
 
-taxoglimpse_json::unit_enum_json!(Outcome { Correct, Missed, Wrong });
+taxoglimpse_json::unit_enum_json!(Outcome { Correct, Missed, Wrong, Failed });
 
 fn ratio(num: usize, den: usize) -> f64 {
     if den == 0 {
@@ -139,7 +174,7 @@ mod tests {
 
     #[test]
     fn derived_metrics() {
-        let m = Metrics { correct: 80, missed: 5, wrong: 15 };
+        let m = Metrics { correct: 80, missed: 5, wrong: 15, failed: 0 };
         assert_eq!(m.total(), 100);
         assert!((m.accuracy() - 0.80).abs() < 1e-12);
         assert!((m.miss_rate() - 0.05).abs() < 1e-12);
@@ -161,7 +196,7 @@ mod tests {
         m.record(Outcome::Missed);
         m.record(Outcome::Wrong);
         m.record(Outcome::Correct);
-        assert_eq!(m, Metrics { correct: 2, missed: 1, wrong: 1 });
+        assert_eq!(m, Metrics { correct: 2, missed: 1, wrong: 1, failed: 0 });
 
         let mut total = Metrics::default();
         total += m;
@@ -172,7 +207,7 @@ mod tests {
 
     #[test]
     fn display_is_compact() {
-        let m = Metrics { correct: 1, missed: 0, wrong: 1 };
+        let m = Metrics { correct: 1, missed: 0, wrong: 1, failed: 0 };
         assert_eq!(m.to_string(), "A=0.500 M=0.000 (n=2)");
     }
 
@@ -195,12 +230,40 @@ mod tests {
 
     #[test]
     fn metrics_expose_cis() {
-        let m = Metrics { correct: 90, missed: 5, wrong: 5 };
+        let m = Metrics { correct: 90, missed: 5, wrong: 5, failed: 0 };
         let (lo, hi) = m.accuracy_ci95();
         assert!(lo < 0.9 && 0.9 < hi);
         assert!(hi - lo < 0.15);
         let (mlo, mhi) = m.miss_ci95();
         assert!(mlo < 0.05 && 0.05 < mhi);
+    }
+
+    #[test]
+    fn failed_counts_feed_availability() {
+        let mut m = Metrics { correct: 6, missed: 1, wrong: 1, failed: 0 };
+        m.record(Outcome::Failed);
+        m.record(Outcome::Failed);
+        assert_eq!(m.failed, 2);
+        assert_eq!(m.total(), 10);
+        assert!((m.availability() - 0.8).abs() < 1e-12);
+        // Failures drag accuracy down: they are part of the denominator.
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        assert_eq!(Metrics::default().availability(), 1.0);
+        assert_eq!(m.to_string(), "A=0.600 M=0.100 (n=10) F=2");
+    }
+
+    #[test]
+    fn failed_field_serializes_only_when_nonzero() {
+        use taxoglimpse_json::{from_str, to_string};
+        let clean = Metrics { correct: 1, missed: 2, wrong: 3, failed: 0 };
+        let clean_json = to_string(&clean).expect("metrics serialize to json");
+        assert_eq!(clean_json, r#"{"correct":1,"missed":2,"wrong":3}"#);
+        assert_eq!(from_str::<Metrics>(&clean_json).expect("clean metrics parse back"), clean);
+
+        let faulty = Metrics { correct: 1, missed: 2, wrong: 3, failed: 4 };
+        let faulty_json = to_string(&faulty).expect("metrics serialize to json");
+        assert_eq!(faulty_json, r#"{"correct":1,"missed":2,"wrong":3,"failed":4}"#);
+        assert_eq!(from_str::<Metrics>(&faulty_json).expect("faulty metrics parse back"), faulty);
     }
 
     /// A Cochran-sized sample (385) gives the ±5% margin the paper's

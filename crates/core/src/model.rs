@@ -1,7 +1,16 @@
 //! The model interface the harness evaluates against.
+//!
+//! Calling a model is *fallible*: real serving stacks time out, rate
+//! limit, truncate and fall over (the paper ran eighteen models behind
+//! Azure/OpenAI APIs and a local GPU farm, where all four happen).
+//! [`LanguageModel::answer`] therefore returns
+//! `Result<Response, ModelError>`; the retry/breaker machinery lives in
+//! [`crate::resilience`], and exhausted queries surface as
+//! [`crate::metrics::Outcome::Failed`] instead of silent wrong answers.
 
 use crate::prompts::PromptSetting;
 use crate::question::Question;
+use std::fmt;
 
 /// Everything a model receives for one benchmark query.
 ///
@@ -19,6 +28,119 @@ pub struct Query<'q> {
     pub question: &'q Question,
     /// The prompting setting in force.
     pub setting: PromptSetting,
+    /// Zero-based retry ordinal: 0 on the first delivery, 1 on the
+    /// first retry, and so on. Fault streams mix this in so a retried
+    /// query re-rolls its fate instead of failing identically forever;
+    /// answer content must NOT depend on it (determinism contract).
+    pub attempt: u32,
+}
+
+impl<'q> Query<'q> {
+    /// A first-delivery query (attempt 0).
+    pub fn new(prompt: &'q str, question: &'q Question, setting: PromptSetting) -> Self {
+        Query { prompt, question, setting, attempt: 0 }
+    }
+
+    /// The same query re-delivered as retry ordinal `attempt`.
+    pub fn with_attempt(mut self, attempt: u32) -> Self {
+        self.attempt = attempt;
+        self
+    }
+}
+
+/// Why a model call failed. The five classes cover what the paper's
+/// serving reality produces: slow answers, throttled answers, cut-off
+/// answers, no answers, and garbage answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The request exceeded its deadline.
+    Timeout,
+    /// The serving side throttled the request; honor `retry_after_s`
+    /// (simulated seconds) before retrying.
+    RateLimited {
+        /// Server-suggested wait before the next attempt, in simulated
+        /// seconds.
+        retry_after_s: f64,
+    },
+    /// The completion was cut off mid-answer; `partial` holds whatever
+    /// arrived before the cut.
+    Truncated {
+        /// The prefix of the answer that made it through.
+        partial: String,
+    },
+    /// The serving side is down or refusing connections.
+    Unavailable,
+    /// The response arrived but was structurally unusable (wrong
+    /// encoding, empty body, protocol violation). Retrying cannot help:
+    /// the same request deterministically produces the same garbage.
+    Malformed,
+}
+
+impl ModelError {
+    /// Whether a retry can plausibly succeed. [`ModelError::Malformed`]
+    /// is the one permanent class; everything else is transient.
+    pub fn is_retryable(&self) -> bool {
+        !matches!(self, ModelError::Malformed)
+    }
+
+    /// Stable lowercase label for tables and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ModelError::Timeout => "timeout",
+            ModelError::RateLimited { .. } => "rate-limited",
+            ModelError::Truncated { .. } => "truncated",
+            ModelError::Unavailable => "unavailable",
+            ModelError::Malformed => "malformed",
+        }
+    }
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Timeout => write!(f, "request timed out"),
+            ModelError::RateLimited { retry_after_s } => {
+                write!(f, "rate limited (retry after {retry_after_s:.2}s)")
+            }
+            ModelError::Truncated { partial } => {
+                write!(f, "response truncated after {} bytes", partial.len())
+            }
+            ModelError::Unavailable => write!(f, "service unavailable"),
+            ModelError::Malformed => write!(f, "malformed response"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A successful model completion: the text plus serving metadata.
+///
+/// Only `text` feeds scoring; `latency_s` accumulates on the simulated
+/// clock and `attempts` records how many deliveries the resilience
+/// layer needed. Neither is serialized into reports, so metadata can
+/// never perturb the byte-identical digest contract.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The free natural-language answer text.
+    pub text: String,
+    /// Simulated seconds this (successful) delivery took.
+    pub latency_s: f64,
+    /// Total deliveries including retries (≥ 1); 1 means first try.
+    pub attempts: u32,
+}
+
+impl Response {
+    /// A first-try response with zero latency — what in-process models
+    /// (baselines, oracles, fixtures) return.
+    pub fn new(text: impl Into<String>) -> Self {
+        Response { text: text.into(), latency_s: 0.0, attempts: 1 }
+    }
+
+    /// Attach a simulated per-delivery latency.
+    pub fn with_latency(mut self, latency_s: f64) -> Self {
+        self.latency_s = latency_s;
+        self
+    }
 }
 
 /// A language model under evaluation.
@@ -31,8 +153,8 @@ pub trait LanguageModel: Send + Sync {
     /// Model name as printed in result tables (e.g. "GPT-4").
     fn name(&self) -> &str;
 
-    /// Answer one query with free text.
-    fn answer(&self, query: &Query<'_>) -> String;
+    /// Answer one query with free text, or report why the call failed.
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError>;
 
     /// Reset any per-run state (default: no-op). Called by the evaluator
     /// before each dataset run.
@@ -46,7 +168,7 @@ impl<M: LanguageModel + ?Sized> LanguageModel for Box<M> {
         (**self).name()
     }
 
-    fn answer(&self, query: &Query<'_>) -> String {
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
         (**self).answer(query)
     }
 
@@ -85,8 +207,8 @@ impl LanguageModel for FixedAnswerModel {
         &self.name
     }
 
-    fn answer(&self, _query: &Query<'_>) -> String {
-        self.answer.clone()
+    fn answer(&self, _query: &Query<'_>) -> Result<Response, ModelError> {
+        Ok(Response::new(self.answer.clone()))
     }
 }
 
@@ -96,10 +218,8 @@ mod tests {
     use crate::domain::TaxonomyKind;
     use crate::question::QuestionBody;
 
-    #[test]
-    fn fixed_model_answers_fixed() {
-        let m = FixedAnswerModel::always_yes();
-        let q = Question {
+    fn question() -> Question {
+        Question {
             id: 0,
             taxonomy: TaxonomyKind::Ebay,
             child: "a".into(),
@@ -108,9 +228,15 @@ mod tests {
             true_parent: "b".into(),
             instance_typing: false,
             body: QuestionBody::TrueFalse { candidate: "b".into(), expected_yes: true, negative: None },
-        };
-        let query = Query { prompt: "p", question: &q, setting: PromptSetting::ZeroShot };
-        assert_eq!(m.answer(&query), "Yes.");
+        }
+    }
+
+    #[test]
+    fn fixed_model_answers_fixed() {
+        let m = FixedAnswerModel::always_yes();
+        let q = question();
+        let query = Query::new("p", &q, PromptSetting::ZeroShot);
+        assert_eq!(m.answer(&query).expect("fixed model never fails").text, "Yes.");
         assert_eq!(m.name(), "always-yes");
         m.reset();
     }
@@ -119,5 +245,33 @@ mod tests {
     fn boxed_models_delegate() {
         let m: Box<dyn LanguageModel> = Box::new(FixedAnswerModel::always_idk());
         assert_eq!(m.name(), "always-idk");
+    }
+
+    #[test]
+    fn query_attempt_defaults_to_zero_and_rebinds() {
+        let q = question();
+        let query = Query::new("p", &q, PromptSetting::ZeroShot);
+        assert_eq!(query.attempt, 0);
+        assert_eq!(query.with_attempt(3).attempt, 3);
+    }
+
+    #[test]
+    fn error_retryability_and_labels() {
+        assert!(ModelError::Timeout.is_retryable());
+        assert!(ModelError::RateLimited { retry_after_s: 1.0 }.is_retryable());
+        assert!(ModelError::Truncated { partial: "Ye".into() }.is_retryable());
+        assert!(ModelError::Unavailable.is_retryable());
+        assert!(!ModelError::Malformed.is_retryable());
+        assert_eq!(ModelError::Timeout.label(), "timeout");
+        assert_eq!(ModelError::Malformed.to_string(), "malformed response");
+        assert!(ModelError::Truncated { partial: "abc".into() }.to_string().contains("3 bytes"));
+    }
+
+    #[test]
+    fn response_builder_carries_metadata() {
+        let r = Response::new("Yes.").with_latency(0.8);
+        assert_eq!(r.text, "Yes.");
+        assert_eq!(r.latency_s, 0.8);
+        assert_eq!(r.attempts, 1);
     }
 }

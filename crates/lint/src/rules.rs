@@ -18,6 +18,8 @@ pub const M001_PATHS: &[&str] = &[
     "crates/core/src/metrics.rs",
     "crates/core/src/casestudy.rs",
     "crates/core/src/hybrid.rs",
+    "crates/core/src/resilience.rs",
+    "crates/llm/src/faults.rs",
 ];
 
 /// Minimum `expect("…")` message length D003 accepts as "carrying

@@ -21,7 +21,7 @@ use crate::scalability;
 use crate::simulate::SimulatedLlm;
 use crate::tokenizer::Tokenizer;
 use std::sync::Mutex;
-use taxoglimpse_core::model::{LanguageModel, Query};
+use taxoglimpse_core::model::{LanguageModel, ModelError, Query, Response};
 use taxoglimpse_synth::rng::{hash_str, mix64};
 
 /// Pricing per million tokens (input, output) in USD. Closed-model
@@ -116,8 +116,14 @@ impl ApiClient {
         }
     }
 
-    fn attempt_fails(&self, prompt: &str, attempt: u32) -> bool {
-        let h = mix64(hash_str(self.seed ^ u64::from(attempt), prompt));
+    /// Deterministic per-attempt failure draw. The caller's retry
+    /// ordinal (`query.attempt`) is mixed in so an evaluator-level
+    /// redelivery re-rolls the failure stream instead of replaying it;
+    /// at `query.attempt == 0` the draw is identical to the historical
+    /// one, keeping pre-resilience runs byte-stable.
+    fn attempt_fails(&self, query: &Query<'_>, attempt: u32) -> bool {
+        let salt = self.seed ^ u64::from(attempt) ^ (u64::from(query.attempt) << 16);
+        let h = mix64(hash_str(salt, query.prompt));
         let u = (h >> 11) as f64 / (1u64 << 53) as f64;
         u < self.config.failure_rate
     }
@@ -135,38 +141,46 @@ impl LanguageModel for ApiClient {
         self.inner.name()
     }
 
-    fn answer(&self, query: &Query<'_>) -> String {
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
         let mut stats = self.stats.lock().expect("stats lock not poisoned");
         stats.requests += 1;
         let mut answered = None;
+        let mut request_seconds = 0.0;
+        let mut attempts_made = 0u32;
         for attempt in 1..=self.config.max_attempts {
             stats.attempts += 1;
-            stats.simulated_seconds += self.attempt_latency();
-            if self.attempt_fails(&query.prompt, attempt) {
+            attempts_made = attempt;
+            request_seconds += self.attempt_latency();
+            if self.attempt_fails(query, attempt) {
                 stats.transient_failures += 1;
-                stats.simulated_seconds +=
+                request_seconds +=
                     self.config.backoff_base_s * f64::from(1u32 << (attempt - 1).min(8));
                 continue;
             }
-            answered = Some(self.inner.answer(query));
+            answered = Some(self.inner.answer(query)?);
             break;
         }
-        let response = match answered {
+        stats.simulated_seconds += request_seconds;
+        let prompt_tokens = self.tokenizer.count(query.prompt) as u64;
+        stats.prompt_tokens += prompt_tokens;
+        let (pin, pout) = price_per_mtok(self.inner.id());
+        let mut response = match answered {
             Some(r) => r,
             None => {
                 stats.exhausted += 1;
-                // The harness treats unparseable output as a wrong
-                // answer, which is the honest accounting for an outage.
-                String::from("[request failed after retries]")
+                // Internal retries are spent: surface a structured
+                // outage and let the caller's resilience layer (or the
+                // evaluator's Failed accounting) take it from here.
+                stats.cost_usd += prompt_tokens as f64 * pin / 1e6;
+                return Err(ModelError::Unavailable);
             }
         };
-        let prompt_tokens = self.tokenizer.count(&query.prompt) as u64;
-        let completion_tokens = self.tokenizer.count(&response) as u64;
-        stats.prompt_tokens += prompt_tokens;
+        let completion_tokens = self.tokenizer.count(&response.text) as u64;
         stats.completion_tokens += completion_tokens;
-        let (pin, pout) = price_per_mtok(self.inner.id());
         stats.cost_usd += (prompt_tokens as f64 * pin + completion_tokens as f64 * pout) / 1e6;
-        response
+        response.latency_s = request_seconds;
+        response.attempts = attempts_made;
+        Ok(response)
     }
 
     fn reset(&self) {

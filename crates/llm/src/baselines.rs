@@ -19,7 +19,7 @@
 //!   IR" baseline a pre-LLM system would actually use.
 
 use crate::knowledge::trigram_similarity;
-use taxoglimpse_core::model::{LanguageModel, Query};
+use taxoglimpse_core::model::{LanguageModel, ModelError, Query, Response};
 use taxoglimpse_core::question::QuestionBody;
 use taxoglimpse_synth::rng::{hash_str, mix64};
 
@@ -41,9 +41,9 @@ impl LanguageModel for RandomBaseline {
         "random"
     }
 
-    fn answer(&self, query: &Query<'_>) -> String {
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
         let h = mix64(hash_str(self.seed, &query.prompt));
-        match &query.question.body {
+        let text = match &query.question.body {
             QuestionBody::TrueFalse { .. } => {
                 if h & 1 == 0 {
                     "Yes.".to_owned()
@@ -52,7 +52,8 @@ impl LanguageModel for RandomBaseline {
                 }
             }
             QuestionBody::Mcq { .. } => format!("{})", (b'A' + (h % 4) as u8) as char),
-        }
+        };
+        Ok(Response::new(text))
     }
 }
 
@@ -65,11 +66,11 @@ impl LanguageModel for MajorityYesBaseline {
         "always-yes"
     }
 
-    fn answer(&self, query: &Query<'_>) -> String {
-        match &query.question.body {
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        Ok(Response::new(match &query.question.body {
             QuestionBody::TrueFalse { .. } => "Yes.".to_owned(),
             QuestionBody::Mcq { .. } => "A)".to_owned(),
-        }
+        }))
     }
 }
 
@@ -109,8 +110,8 @@ impl LanguageModel for LexicalBaseline {
         "lexical"
     }
 
-    fn answer(&self, query: &Query<'_>) -> String {
-        match &query.question.body {
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        let text = match &query.question.body {
             QuestionBody::TrueFalse { candidate, .. } => {
                 if self.matches(&query.question.child, candidate) {
                     "Yes.".to_owned()
@@ -130,7 +131,8 @@ impl LanguageModel for LexicalBaseline {
                     .unwrap_or(0);
                 format!("{})", (b'A' + best) as char)
             }
-        }
+        };
+        Ok(Response::new(text))
     }
 }
 
@@ -189,8 +191,8 @@ impl LanguageModel for NgramVectorBaseline {
         "ngram-vsm"
     }
 
-    fn answer(&self, query: &Query<'_>) -> String {
-        match &query.question.body {
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        let text = match &query.question.body {
             QuestionBody::TrueFalse { candidate, .. } => {
                 if Self::cosine(&query.question.child, candidate) >= self.threshold {
                     "Yes.".to_owned()
@@ -210,7 +212,8 @@ impl LanguageModel for NgramVectorBaseline {
                     .unwrap_or(0);
                 format!("{})", (b'A' + best) as char)
             }
-        }
+        };
+        Ok(Response::new(text))
     }
 }
 

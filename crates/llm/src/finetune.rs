@@ -11,7 +11,7 @@
 //! miss rate and uplifted accuracy).
 
 use taxoglimpse_core::domain::TaxonomyKind;
-use taxoglimpse_core::model::{LanguageModel, Query};
+use taxoglimpse_core::model::{LanguageModel, ModelError, Query, Response};
 use taxoglimpse_core::parse::{parse_mcq, parse_tf, ParsedAnswer};
 use taxoglimpse_core::prompts::render_gold;
 use taxoglimpse_core::question::QuestionKind;
@@ -63,15 +63,15 @@ impl<M: LanguageModel> LanguageModel for InstructionTuned<M> {
         &self.name
     }
 
-    fn answer(&self, query: &Query<'_>) -> String {
-        let base_answer = self.base.answer(query);
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        let base_answer = self.base.answer(query)?;
         let question = query.question;
         if !self.covers(question.taxonomy) {
-            return base_answer;
+            return Ok(base_answer);
         }
         let parsed = match question.kind() {
-            QuestionKind::TrueFalse => parse_tf(&base_answer),
-            QuestionKind::Mcq => parse_mcq(&base_answer),
+            QuestionKind::TrueFalse => parse_tf(&base_answer.text),
+            QuestionKind::Mcq => parse_mcq(&base_answer.text),
         };
         let gold = question.gold();
         let is_correct = matches!(
@@ -80,12 +80,12 @@ impl<M: LanguageModel> LanguageModel for InstructionTuned<M> {
                 | (ParsedAnswer::No, taxoglimpse_core::question::GoldAnswer::No)
         ) || matches!((parsed, gold), (ParsedAnswer::Option(i), taxoglimpse_core::question::GoldAnswer::Option(j)) if i == j);
         if is_correct {
-            return base_answer;
+            return Ok(base_answer);
         }
         // Deterministically fix a `fix_rate` fraction of the errors.
         let h = mix64(hash_str(self.seed, &query.prompt));
         let u = (h >> 11) as f64 / (1u64 << 53) as f64;
-        if u < self.fix_rate {
+        let corrected = if u < self.fix_rate {
             render_gold(gold)
         } else if parsed == ParsedAnswer::IDontKnow {
             // Instruction tuning always commits to a guess: replace the
@@ -100,8 +100,9 @@ impl<M: LanguageModel> LanguageModel for InstructionTuned<M> {
                 }
             }
         } else {
-            base_answer
-        }
+            return Ok(base_answer);
+        };
+        Ok(Response::new(corrected))
     }
 
     fn reset(&self) {

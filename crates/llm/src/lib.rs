@@ -33,6 +33,7 @@
 pub mod api;
 pub mod baselines;
 pub mod calib;
+pub mod faults;
 pub mod finetune;
 pub mod knowledge;
 pub mod profile;
@@ -43,6 +44,7 @@ pub mod simulate;
 pub mod tokenizer;
 pub mod zoo;
 
+pub use faults::{FaultInjector, FaultPlan, FaultStats};
 pub use profile::{ModelFamily, ModelId, ModelProfile};
 pub use simulate::SimulatedLlm;
 pub use zoo::ModelZoo;

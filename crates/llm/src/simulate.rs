@@ -7,7 +7,7 @@ use crate::respond::{render, Verdict};
 use crate::similarity;
 use crate::tokenizer::Tokenizer;
 use std::sync::Mutex;
-use taxoglimpse_core::model::{LanguageModel, Query};
+use taxoglimpse_core::model::{LanguageModel, ModelError, Query, Response};
 use taxoglimpse_core::question::{Question, QuestionBody};
 use taxoglimpse_synth::rng::{hash_str, mix64, StreamHasher};
 
@@ -151,7 +151,7 @@ impl LanguageModel for SimulatedLlm {
         self.id.display_name()
     }
 
-    fn answer(&self, query: &Query<'_>) -> String {
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
         let verdict = self.verdict(query);
         let noise = hash_str(self.seed ^ 0xF00D, &query.prompt);
         let text = render(self.id, query.question, verdict, query.setting, noise);
@@ -159,7 +159,7 @@ impl LanguageModel for SimulatedLlm {
         usage.queries += 1;
         usage.prompt_tokens += self.tokenizer.count(&query.prompt) as u64;
         usage.completion_tokens += self.tokenizer.count(&text) as u64;
-        text
+        Ok(Response::new(text))
     }
 
     fn reset(&self) {

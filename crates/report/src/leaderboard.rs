@@ -16,6 +16,9 @@ pub struct LeaderboardEntry {
     pub macro_accuracy: f64,
     /// Macro-average miss rate.
     pub macro_miss: f64,
+    /// Macro-average availability (fraction of questions whose model
+    /// call delivered any answer; 1.0 in a fault-free run).
+    pub macro_availability: f64,
     /// Micro (pooled) metrics across all the model's questions.
     pub pooled: Metrics,
     /// Number of reports (taxonomy × flavor cells) aggregated.
@@ -42,6 +45,8 @@ pub fn leaderboard(reports: &[EvalReport]) -> Vec<LeaderboardEntry> {
             let n = rs.len() as f64;
             let macro_accuracy = rs.iter().map(|r| r.overall.accuracy()).sum::<f64>() / n;
             let macro_miss = rs.iter().map(|r| r.overall.miss_rate()).sum::<f64>() / n;
+            let macro_availability =
+                rs.iter().map(|r| r.overall.availability()).sum::<f64>() / n;
             let mut pooled = Metrics::default();
             for r in &rs {
                 pooled += r.overall;
@@ -50,6 +55,7 @@ pub fn leaderboard(reports: &[EvalReport]) -> Vec<LeaderboardEntry> {
                 model: model.to_owned(),
                 macro_accuracy,
                 macro_miss,
+                macro_availability,
                 pooled,
                 cells: rs.len(),
             }
@@ -69,6 +75,7 @@ pub fn render(rows: &[LeaderboardEntry]) -> String {
             "macro A".into(),
             "95% CI".into(),
             "macro M".into(),
+            "avail".into(),
             "cells".into(),
             "questions".into(),
         ],
@@ -81,6 +88,7 @@ pub fn render(rows: &[LeaderboardEntry]) -> String {
             format!("{:.3}", row.macro_accuracy),
             format!("[{lo:.3}, {hi:.3}]"),
             format!("{:.3}", row.macro_miss),
+            format!("{:.3}", row.macro_availability),
             row.cells.to_string(),
             row.pooled.total().to_string(),
         ]);
@@ -97,7 +105,7 @@ mod tests {
     use taxoglimpse_core::prompts::PromptSetting;
 
     fn report(model: &str, correct: usize, wrong: usize, missed: usize) -> EvalReport {
-        let metrics = Metrics { correct, missed, wrong };
+        let metrics = Metrics { correct, missed, wrong, failed: 0 };
         EvalReport {
             model: model.into(),
             taxonomy: TaxonomyKind::Ebay,
@@ -143,5 +151,19 @@ mod tests {
     #[test]
     fn empty_input_is_empty_board() {
         assert!(leaderboard(&[]).is_empty());
+    }
+
+    #[test]
+    fn availability_reflects_failed_deliveries() {
+        let mut degraded = report("flaky", 6, 2, 0);
+        degraded.overall.failed = 2;
+        let rows = leaderboard(&[degraded, report("solid", 8, 2, 0)]);
+        let flaky = rows.iter().find(|r| r.model == "flaky").expect("flaky row present");
+        let solid = rows.iter().find(|r| r.model == "solid").expect("solid row present");
+        assert!((flaky.macro_availability - 0.8).abs() < 1e-12);
+        assert_eq!(solid.macro_availability, 1.0);
+        let text = render(&rows);
+        assert!(text.contains("avail"));
+        assert!(text.contains("0.800"));
     }
 }

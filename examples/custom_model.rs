@@ -12,7 +12,6 @@
 //! cargo run --release --example custom_model
 //! ```
 
-use taxoglimpse::core::model::Query;
 use taxoglimpse::core::question::QuestionBody;
 use taxoglimpse::llm::knowledge::trigram_similarity;
 use taxoglimpse::prelude::*;
@@ -27,8 +26,8 @@ impl LanguageModel for SurfaceBaseline {
         "trigram-baseline"
     }
 
-    fn answer(&self, query: &Query<'_>) -> String {
-        match &query.question.body {
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        let text = match &query.question.body {
             QuestionBody::TrueFalse { candidate, .. } => {
                 if trigram_similarity(&query.question.child, candidate) >= self.threshold {
                     "Yes.".to_owned()
@@ -48,7 +47,8 @@ impl LanguageModel for SurfaceBaseline {
                     .unwrap_or(0);
                 format!("{})", (b'A' + best as u8) as char)
             }
-        }
+        };
+        Ok(Response::new(text))
     }
 }
 

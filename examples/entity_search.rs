@@ -13,7 +13,6 @@
 //! ```
 
 use taxoglimpse::core::hybrid::HybridTaxonomy;
-use taxoglimpse::core::model::Query;
 use taxoglimpse::core::parse::{parse_tf, ParsedAnswer};
 use taxoglimpse::core::question::{Question, QuestionBody};
 use taxoglimpse::core::templates::render_question;
@@ -83,8 +82,10 @@ fn main() {
             },
         };
         let prompt = render_question(&question, Default::default());
-        let q = Query { prompt: &prompt, question: &question, setting: PromptSetting::ZeroShot };
-        if parse_tf(&model.answer(&q)) == ParsedAnswer::Yes {
+        let q = Query::new(&prompt, &question, PromptSetting::ZeroShot);
+        // A delivery failure simply leaves the product out of the hits —
+        // graceful degradation, not a crash.
+        if model.answer(&q).is_ok_and(|r| parse_tf(&r.text) == ParsedAnswer::Yes) {
             hits.push(item);
         }
     }

@@ -8,7 +8,6 @@
 //! ```
 
 use taxoglimpse::core::eval::score;
-use taxoglimpse::core::model::Query;
 use taxoglimpse::core::parse::parse_tf;
 use taxoglimpse::core::question::{Question, QuestionBody};
 use taxoglimpse::core::templates::render_question;
@@ -53,11 +52,16 @@ fn main() {
             },
         };
         let prompt = render_question(&question, Default::default());
-        let query = Query { prompt: &prompt, question: &question, setting: PromptSetting::ZeroShot };
-        let response = model.answer(&query);
-        let outcome = score(&question, parse_tf(&response));
+        let query = Query::new(&prompt, &question, PromptSetting::ZeroShot);
+        let (text, outcome) = match model.answer(&query) {
+            Ok(response) => {
+                let outcome = score(&question, parse_tf(&response.text));
+                (response.text, outcome)
+            }
+            Err(error) => (format!("[{error}]"), Outcome::Failed),
+        };
         println!("L{} Q: {prompt}", question.child_level);
-        println!("   {}: {response}   [{outcome:?}]\n", model.name());
+        println!("   {}: {text}   [{outcome:?}]\n", model.name());
     }
 
     // The anecdote, generalized: the full per-level accuracy curve.

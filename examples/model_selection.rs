@@ -11,10 +11,7 @@
 //! cargo run --release --example model_selection [-- icd-10-cm]
 //! ```
 
-use taxoglimpse::core::grid::GridRunner;
-use taxoglimpse::core::model::LanguageModel;
 use taxoglimpse::llm::api::ApiClient;
-use taxoglimpse::llm::SimulatedLlm;
 use taxoglimpse::prelude::*;
 use taxoglimpse::report::leaderboard::{leaderboard, render};
 
@@ -49,8 +46,7 @@ fn main() {
     let zoo = ModelZoo::default_zoo();
     let arcs: Vec<_> = candidates.iter().map(|&id| zoo.get(id).expect("zoo")).collect();
     let models: Vec<&dyn LanguageModel> = arcs.iter().map(|m| m.as_ref() as &dyn LanguageModel).collect();
-    let reports = GridRunner::with_available_parallelism(Default::default())
-        .run_cross(&models, &[&dataset]);
+    let reports = GridRunner::builder().build().run_cross(&models, &[&dataset]);
     println!("{}", render(&leaderboard(&reports)));
 
     // 2. Cost: price a production month through the serving layer.

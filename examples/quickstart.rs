@@ -52,4 +52,16 @@ fn main() {
             );
         }
     }
+
+    // 4. Serving faults? Wrap any model in the deterministic fault
+    //    injector: the evaluator retries transient errors, scores what
+    //    still fails as Failed, and reports availability alongside
+    //    accuracy — no crash, no lost report.
+    let flaky = FaultInjector::new(SimulatedLlm::new(ModelId::Gpt4), FaultPlan::uniform(7, 0.2));
+    let degraded = evaluator.run(&flaky, &dataset);
+    println!(
+        "\nGPT-4 behind a 20% fault injector: A={:.3}, availability {:.1}%",
+        degraded.overall.accuracy(),
+        degraded.overall.availability() * 100.0
+    );
 }

@@ -84,4 +84,28 @@ cargo run --release --offline -q -p taxoglimpse-bench --bin bench_synth -- \
     --check "$SMOKE_OUT"
 rm -rf "$SMOKE_OUT" "$SMOKE_CACHE"
 
+# 6. Resilience bench plumbing, same contract as stages 4/5: the
+#    committed BENCH_resilience.json must pass shape validation
+#    (including its rate-0 transparency invariants), and a quick-mode
+#    fault smoke must produce a file that does too. The smoke run
+#    re-proves the two hard invariants in-process — digests equal
+#    across worker counts {1,2,8} at every fault rate, and the rate-0
+#    digest equal to the bare (un-wrapped) pipeline — because
+#    bench_resilience aborts if either fails. Also audit that the
+#    error-path migration left no unwrap() in the new modules (lint
+#    rule D003 gates this too; this is a cheap belt-and-braces check).
+echo "==> resilience bench smoke (TAXOGLIMPSE_BENCH_QUICK)"
+if grep -n '\.unwrap()' crates/core/src/resilience.rs crates/llm/src/faults.rs; then
+    echo "error: unwrap() in resilience/fault modules (see above)" >&2
+    exit 1
+fi
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_resilience -- \
+    --check BENCH_resilience.json
+SMOKE_OUT="$(mktemp)"
+TAXOGLIMPSE_BENCH_QUICK=1 cargo run --release --offline -q \
+    -p taxoglimpse-bench --bin bench_resilience -- --label "verify smoke" --out "$SMOKE_OUT"
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_resilience -- \
+    --check "$SMOKE_OUT"
+rm -f "$SMOKE_OUT"
+
 echo "==> verify OK: hermetic tier-1 passed"

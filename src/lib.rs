@@ -37,19 +37,25 @@ pub use taxoglimpse_report as report;
 pub use taxoglimpse_synth as synth;
 pub use taxoglimpse_taxonomy as taxonomy;
 
-/// Convenient glob-import surface covering the common workflow types.
+/// Convenient glob-import surface covering the common workflow types:
+/// dataset construction, the fallible model interface, evaluation
+/// (sequential and grid), resilience, and fault injection.
 pub mod prelude {
     pub use taxoglimpse_core::{
         dataset::{DatasetBuilder, QuestionDataset},
         domain::{Domain, TaxonomyKind},
         eval::{EvalConfig, EvalReport, Evaluator},
-        metrics::Metrics,
-        model::LanguageModel,
+        grid::GridRunner,
+        metrics::{Metrics, Outcome},
+        model::{LanguageModel, ModelError, Query, Response},
         prompts::PromptSetting,
         question::{Question, QuestionKind},
+        resilience::{BackoffPolicy, BreakerPolicy, Resilient, ResiliencePolicy},
     };
     pub use taxoglimpse_llm::{
+        faults::{FaultInjector, FaultPlan},
         profile::ModelId,
+        simulate::SimulatedLlm,
         zoo::ModelZoo,
     };
     pub use taxoglimpse_synth::{generate, GenOptions};

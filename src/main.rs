@@ -242,9 +242,16 @@ fn cmd_ask(flags: &Flags) -> Result<String, String> {
         },
     };
     let prompt = render_question(&question, Default::default());
-    let query = Query { prompt: &prompt, question: &question, setting: flags.setting };
-    let response = model.answer(&query);
-    Ok(format!("Q: {prompt}\n{}: {response}\nparsed: {:?}", model.id(), parse_tf(&response)))
+    let query = Query::new(&prompt, &question, flags.setting);
+    match model.answer(&query) {
+        Ok(response) => Ok(format!(
+            "Q: {prompt}\n{}: {}\nparsed: {:?}",
+            model.id(),
+            response.text,
+            parse_tf(&response.text)
+        )),
+        Err(error) => Ok(format!("Q: {prompt}\n{}: request failed: {error}", model.id())),
+    }
 }
 
 fn cmd_hybrid(flags: &Flags) -> Result<String, String> {

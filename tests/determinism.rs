@@ -41,7 +41,7 @@ fn model_answers_are_stable_per_question() {
     let model = zoo.get(ModelId::Claude3).unwrap();
     for q in d.questions() {
         let prompt = taxoglimpse::core::templates::render_question(q, Default::default());
-        let query = Query { prompt: &prompt, question: q, setting: PromptSetting::ZeroShot };
+        let query = Query::new(&prompt, q, PromptSetting::ZeroShot);
         let first = model.answer(&query);
         for _ in 0..3 {
             assert_eq!(model.answer(&query), first);
@@ -109,7 +109,10 @@ fn reports_digest_is_pinned() {
 
     let mut digests = Vec::new();
     for setting in [PromptSetting::ZeroShot, PromptSetting::FewShot] {
-        let runner = GridRunner::new(EvalConfig { setting, ..Default::default() }, 4);
+        let runner = GridRunner::builder()
+            .with_config(EvalConfig::default().with_setting(setting))
+            .with_threads(4)
+            .build();
         let reports = runner.run_cross(&models, &dataset_refs);
         let mut digest = 0xBA5E_11AEu64;
         for report in &reports {

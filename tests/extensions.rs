@@ -109,7 +109,8 @@ fn grid_runner_parallel_equals_sequential_on_real_models() {
         .collect();
     let models: Vec<&dyn LanguageModel> = arcs.iter().map(|a| a.as_ref() as &dyn LanguageModel).collect();
 
-    let parallel = GridRunner::new(Default::default(), 6).run_cross(&models, &dataset_refs);
+    let parallel =
+        GridRunner::builder().with_threads(6).build().run_cross(&models, &dataset_refs);
     let sequential: Vec<_> = models
         .iter()
         .flat_map(|m| dataset_refs.iter().map(|d| Evaluator::default().run(*m, d)))

@@ -67,8 +67,11 @@ fn chunked_parallel_grid_is_byte_identical_to_sequential() {
 
         for threads in [1usize, 2, 8] {
             for chunk in [1usize, 7, usize::MAX] {
-                let reports = GridRunner::new(config, threads)
+                let reports = GridRunner::builder()
+                    .with_config(config)
+                    .with_threads(threads)
                     .with_chunk_size(chunk)
+                    .build()
                     .run_cross(&models, &dataset_refs);
                 let rendered: Vec<String> = reports
                     .iter()

@@ -329,15 +329,12 @@ fn simulated_responses_always_parse() {
             for slice in &d.levels {
                 for q in &slice.questions {
                     let prompt = taxoglimpse::core::templates::render_question(q, Default::default());
-                    let query = taxoglimpse::core::model::Query {
-                        prompt: &prompt,
-                        question: q,
-                        setting: PromptSetting::ZeroShot,
-                    };
-                    let response = model.answer(&query);
+                    let query =
+                        taxoglimpse::core::model::Query::new(&prompt, q, PromptSetting::ZeroShot);
+                    let response = model.answer(&query).expect("simulated models never fail");
                     let parsed = match q.kind() {
-                        QuestionKind::TrueFalse => parse_tf(&response),
-                        QuestionKind::Mcq => parse_mcq(&response),
+                        QuestionKind::TrueFalse => parse_tf(&response.text),
+                        QuestionKind::Mcq => parse_mcq(&response.text),
                     };
                     assert_ne!(parsed, ParsedAnswer::Unparsed, "{}: {:?}", model_id, response);
                 }

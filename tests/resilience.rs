@@ -1,0 +1,171 @@
+//! Property tests for the resilience stack: the fault injector, the
+//! retry/breaker middleware, and their interaction with the parallel
+//! grid. Runs on the same in-tree deterministic proptest harness as
+//! `proptests.rs` — inputs are forked from a fixed seed per case, so
+//! any failure replays from its printed case index.
+
+use taxoglimpse::prelude::*;
+use taxoglimpse::synth::rng::{fork, hash_str, mix64, Rng, SynthRng};
+
+const PROPTEST_SEED: u64 = 0x7265_7369_6c50_5235; // "resilPR5"
+
+/// Run `f` for `n` deterministic cases, reporting the failing case.
+fn cases(n: u64, tag: &str, f: impl Fn(&mut SynthRng, u64)) {
+    for i in 0..n {
+        let mut rng = fork(PROPTEST_SEED, tag, i);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng, i)));
+        if let Err(payload) = result {
+            let message = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            panic!("property `{tag}` failed at case {i}/{n}: {message}");
+        }
+    }
+}
+
+fn small_dataset(seed: u64) -> taxoglimpse::core::dataset::Dataset {
+    let kind = TaxonomyKind::Ebay;
+    let taxonomy = generate(kind, GenOptions { seed, scale: 0.5 }).expect("valid options");
+    DatasetBuilder::new(&taxonomy, kind, seed)
+        .sample_cap(Some(30))
+        .build(QuestionDataset::Hard)
+        .expect("ebay has probe levels")
+}
+
+/// A random fault plan: arbitrary per-class rates, retry-after, and a
+/// few taxonomy/model factors.
+fn random_plan(rng: &mut SynthRng) -> FaultPlan {
+    let mut plan = FaultPlan::disabled(rng.gen_range(0u64..1 << 48))
+        .with_timeout_rate(rng.gen_range(0u64..30) as f64 / 100.0)
+        .with_rate_limit_rate(rng.gen_range(0u64..30) as f64 / 100.0)
+        .with_truncated_rate(rng.gen_range(0u64..20) as f64 / 100.0)
+        .with_unavailable_rate(rng.gen_range(0u64..20) as f64 / 100.0)
+        .with_malformed_rate(rng.gen_range(0u64..10) as f64 / 100.0)
+        .with_retry_after_s(rng.gen_range(0u64..500) as f64 / 100.0);
+    if rng.gen_bool(0.5) {
+        plan = plan.with_taxonomy_factor(TaxonomyKind::Ebay, rng.gen_range(0u64..30) as f64 / 10.0);
+    }
+    if rng.gen_bool(0.3) {
+        plan = plan.with_model_factor("GPT-4", rng.gen_range(0u64..30) as f64 / 10.0);
+    }
+    plan
+}
+
+fn digest_reports(reports: &[EvalReport]) -> u64 {
+    let mut digest = 0xBA5E_11AEu64;
+    for report in reports {
+        let json = taxoglimpse::json::to_string(report).expect("reports serialize");
+        digest = mix64(digest ^ hash_str(0x5EED, &json));
+    }
+    digest
+}
+
+/// `Resilient<FaultInjector<SimulatedLlm>>` at fault rate 0 is
+/// byte-identical to the bare model, query by query, for any policy.
+#[test]
+fn zero_rate_stack_is_byte_identical_to_bare_model() {
+    cases(8, "zero-rate-transparent", |rng, _| {
+        let seed = rng.gen_range(0u64..1000);
+        let dataset = small_dataset(seed);
+        let policy = ResiliencePolicy::default()
+            .with_max_attempts(rng.gen_range(1u64..6) as u32)
+            .with_seed(rng.gen_range(0u64..1 << 32));
+        let bare = SimulatedLlm::with_seed(ModelId::Gpt4, seed);
+        let stacked = Resilient::with_policy(
+            FaultInjector::new(
+                SimulatedLlm::with_seed(ModelId::Gpt4, seed),
+                FaultPlan::disabled(rng.gen_range(0u64..1 << 32)),
+            ),
+            policy,
+        );
+        assert_eq!(stacked.name(), bare.name());
+        let evaluator = Evaluator::new(EvalConfig::default());
+        let bare_report = evaluator.run(&bare, &dataset);
+        let stacked_report = evaluator.run(&stacked, &dataset);
+        assert_eq!(
+            taxoglimpse::json::to_string(&bare_report).expect("report serializes"),
+            taxoglimpse::json::to_string(&stacked_report).expect("report serializes"),
+        );
+        assert_eq!(stacked_report.overall.failed, 0);
+    });
+}
+
+/// For ANY fault plan, grid report digests are invariant across worker
+/// counts {1, 2, 8}: fault streams key on question identity, breaker
+/// state is per-chunk, and chunk partitioning ignores thread count.
+#[test]
+fn report_digests_are_worker_count_invariant_under_any_fault_plan() {
+    cases(6, "worker-invariant-faults", |rng, _| {
+        let seed = rng.gen_range(0u64..1000);
+        let dataset = small_dataset(seed);
+        let dataset_refs = [&dataset];
+        let plan = random_plan(rng);
+        let chunk = rng.gen_range(1u64..40) as usize;
+
+        let mut digests = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let injectors = [
+                FaultInjector::new(SimulatedLlm::with_seed(ModelId::Gpt4, seed), plan.clone()),
+                FaultInjector::new(SimulatedLlm::with_seed(ModelId::Llama2_7b, seed), plan.clone()),
+            ];
+            let models: Vec<&dyn LanguageModel> =
+                injectors.iter().map(|m| m as &dyn LanguageModel).collect();
+            let reports = GridRunner::builder()
+                .with_threads(workers)
+                .with_chunk_size(chunk)
+                .build()
+                .run_cross(&models, &dataset_refs);
+            digests.push(digest_reports(&reports));
+        }
+        assert_eq!(digests[0], digests[1], "1 vs 2 workers, plan {plan:?}");
+        assert_eq!(digests[0], digests[2], "1 vs 8 workers, plan {plan:?}");
+    });
+}
+
+/// Exhausted retries surface as `Outcome::Failed`, never a panic, and
+/// availability accounts for exactly the failed questions.
+#[test]
+fn heavy_faults_degrade_gracefully_into_availability() {
+    cases(6, "graceful-degradation", |rng, _| {
+        let seed = rng.gen_range(0u64..1000);
+        let dataset = small_dataset(seed);
+        let rate = 0.5 + rng.gen_range(0u64..50) as f64 / 100.0;
+        let injector = FaultInjector::new(
+            SimulatedLlm::with_seed(ModelId::Gpt35, seed),
+            FaultPlan::uniform(rng.gen_range(0u64..1 << 32), rate),
+        );
+        let report = Evaluator::new(EvalConfig::default()).run(&injector, &dataset);
+        let metrics = report.overall;
+        assert_eq!(metrics.total(), dataset.len());
+        let expected = 1.0 - metrics.failed as f64 / metrics.total() as f64;
+        assert!((metrics.availability() - expected).abs() < 1e-12);
+        if rate >= 0.9 {
+            assert!(metrics.failed > 0, "rate {rate} must exhaust some retries");
+        }
+    });
+}
+
+/// The `Resilient` wrapper recovers transiently-faulty models: at a
+/// modest fault rate, retries push availability well above the
+/// no-retry floor.
+#[test]
+fn retries_buy_availability() {
+    let dataset = small_dataset(7);
+    let plan = FaultPlan::uniform(3, 0.4).with_malformed_rate(0.0);
+
+    let no_retries = Evaluator::new(EvalConfig::default())
+        .with_resilience(ResiliencePolicy::default().with_max_attempts(1).without_breaker());
+    let with_retries = Evaluator::new(EvalConfig::default())
+        .with_resilience(ResiliencePolicy::default().with_max_attempts(5).without_breaker());
+
+    let fragile = FaultInjector::new(SimulatedLlm::new(ModelId::Gpt4), plan.clone());
+    let floor = no_retries.run(&fragile, &dataset).overall.availability();
+    let sturdy = FaultInjector::new(SimulatedLlm::new(ModelId::Gpt4), plan);
+    let ceiling = with_retries.run(&sturdy, &dataset).overall.availability();
+    assert!(
+        ceiling > floor + 0.2,
+        "5 attempts ({ceiling:.3}) should clear 1 attempt ({floor:.3}) by a wide margin"
+    );
+}
