@@ -13,17 +13,28 @@
 //! cargo run --release -p taxoglimpse-bench --bin bench_eval -- --check FILE
 //! ```
 //!
-//! Besides timings, each setting records a `reports_digest`: a stable
+//! Since schema v2 every prompt setting is measured under a sweep of
+//! execution configs — batch size × response cache on/off (see
+//! [`CONFIGS`]) — and each config records a `reports_digest`: a stable
 //! 64-bit hash over the JSON of every [`EvalReport`] the grid produced.
-//! A perf change is only admissible if the digest matches the baseline's
-//! — identical digests prove the optimised pipeline returned
-//! byte-identical results, which is this repo's core invariant.
+//! The run *aborts* if any config's digest diverges from the others
+//! within a setting: batching and caching must be pure executors, and
+//! identical digests prove the optimised pipeline returned
+//! byte-identical results, which is this repo's core invariant. The
+//! setting-level headline throughput is the best cache-enabled config.
+//!
+//! With the cache enabled, rep 0 runs cold (it both measures and fills
+//! the cache) and later reps run warm, so `--repeat R` yields a steady
+//! `(R-1)/R` hit rate and the best-of measurement reflects the served
+//! path.
 //!
 //! `TAXOGLIMPSE_BENCH_QUICK=1` shrinks the workload to smoke-test size
 //! (CI uses this to catch bit-rot without paying for a real measurement).
 
+use std::sync::Arc;
 use std::time::Instant;
 use taxoglimpse_bench::TaxonomyCache;
+use taxoglimpse_core::cache::{CachedModel, ResponseCache};
 use taxoglimpse_core::dataset::{Dataset, DatasetBuilder, QuestionDataset};
 use taxoglimpse_core::domain::TaxonomyKind;
 use taxoglimpse_core::eval::EvalConfig;
@@ -32,11 +43,22 @@ use taxoglimpse_core::model::LanguageModel;
 use taxoglimpse_core::prompts::PromptSetting;
 use taxoglimpse_json::{from_str_value, Json, ToJson};
 use taxoglimpse_llm::profile::ModelId;
+use taxoglimpse_llm::simulate::SimulatedLlm;
 use taxoglimpse_llm::zoo::ModelZoo;
 use taxoglimpse_synth::rng::{hash_str, mix64};
 
 /// Current schema version of `BENCH_eval.json` (see README.md).
-const SCHEMA_VERSION: u64 = 1;
+const SCHEMA_VERSION: u64 = 2;
+
+/// Minimum admissible zero-shot speedup over an embedded baseline when
+/// `--check` finds one (the batching + caching acceptance gate).
+const MIN_ZERO_SHOT_SPEEDUP: f64 = 2.0;
+
+/// Execution configs swept per prompt setting: (batch size, cache).
+/// Batch 1 without cache replays the historical sequential path; the
+/// cache-enabled configs are the headline candidates.
+const CONFIGS: [(usize, bool); 5] =
+    [(1, false), (32, false), (256, false), (32, true), (256, true)];
 
 /// Default model subset: one per major family tier, so the workload
 /// exercises terse, chatty, and abstention-prone response paths.
@@ -161,41 +183,98 @@ fn run_bench(opts: &BenchOptions) -> Json {
 
     let mut results = Vec::new();
     for setting in PromptSetting::ALL {
-        let runner = GridRunner::builder()
-            .with_config(EvalConfig::default().with_setting(setting))
-            .with_threads(opts.threads)
-            .with_chunk_size(opts.chunk)
-            .build();
-        let mut best = f64::INFINITY;
-        let mut total = 0.0;
-        let mut digest = 0xBA5E_11AEu64;
-        for rep in 0..opts.repeat.max(1) {
-            let start = Instant::now();
-            let reports = runner.run_cross(&model_refs, &dataset_refs);
-            let elapsed = start.elapsed().as_secs_f64();
-            total += elapsed;
-            best = best.min(elapsed);
-            if rep == 0 {
-                for report in &reports {
-                    let json = taxoglimpse_json::to_string(report).expect("reports serialize");
-                    digest = mix64(digest ^ hash_str(0x5EED, &json));
+        let mut setting_digest: Option<u64> = None;
+        let mut config_entries = Vec::new();
+        // Headline = best cache-enabled config: (best_s, mean_s, qps, hit_rate).
+        let mut headline: Option<(f64, f64, f64, f64)> = None;
+        for (batch, cache_on) in CONFIGS {
+            let runner = GridRunner::builder()
+                .with_config(EvalConfig::default().with_setting(setting))
+                .with_threads(opts.threads)
+                .with_chunk_size(opts.chunk)
+                .with_batch_size(batch)
+                .build();
+            // One fresh cache per config, shared across its repeat reps
+            // and all models (keys include the model name): rep 0 fills
+            // it cold, warm reps measure the served path.
+            let response_cache = Arc::new(ResponseCache::new());
+            let cached_models: Vec<CachedModel<Arc<SimulatedLlm>>> = if cache_on {
+                model_arcs
+                    .iter()
+                    .map(|m| CachedModel::with_cache(Arc::clone(m), Arc::clone(&response_cache)))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let config_refs: Vec<&dyn LanguageModel> = if cache_on {
+                cached_models.iter().map(|m| m as &dyn LanguageModel).collect()
+            } else {
+                model_refs.clone()
+            };
+            let mut best = f64::INFINITY;
+            let mut total = 0.0;
+            let mut digest = 0xBA5E_11AEu64;
+            for rep in 0..opts.repeat.max(1) {
+                let start = Instant::now();
+                let reports = runner.run_cross(&config_refs, &dataset_refs);
+                let elapsed = start.elapsed().as_secs_f64();
+                total += elapsed;
+                best = best.min(elapsed);
+                if rep == 0 {
+                    for report in &reports {
+                        let json = taxoglimpse_json::to_string(report).expect("reports serialize");
+                        digest = mix64(digest ^ hash_str(0x5EED, &json));
+                    }
                 }
             }
+            if *setting_digest.get_or_insert(digest) != digest {
+                eprintln!(
+                    "error: {setting}: batch {batch} cache {} produced digest {digest:016x}, \
+                     other configs produced {:016x} — batching/caching changed report bytes",
+                    if cache_on { "on" } else { "off" },
+                    setting_digest.expect("setting digest was just inserted"),
+                );
+                std::process::exit(1);
+            }
+            let repeats = opts.repeat.max(1) as f64;
+            let mean = total / repeats;
+            let qps = queries as f64 / best;
+            let stats = response_cache.stats();
+            let hit_rate = if cache_on { stats.hit_rate() } else { 0.0 };
+            eprintln!(
+                "{setting} [batch {batch:>3}, cache {}]: best {:.1} ms, {:.0} q/s, \
+                 hit rate {:.2}, digest {digest:016x}",
+                if cache_on { "on " } else { "off" },
+                best * 1e3,
+                qps,
+                hit_rate,
+            );
+            if cache_on && headline.map(|(b, _, _, _)| best < b).unwrap_or(true) {
+                headline = Some((best, mean, qps, hit_rate));
+            }
+            config_entries.push(Json::obj(vec![
+                ("batch_size", (batch as u64).to_json()),
+                ("cache", cache_on.to_json()),
+                ("best_elapsed_ms", (best * 1e3).to_json()),
+                ("mean_elapsed_ms", (mean * 1e3).to_json()),
+                ("queries_per_sec", qps.to_json()),
+                ("cache_hit_rate", hit_rate.to_json()),
+                ("cache_entries", (response_cache.len() as u64).to_json()),
+                ("reports_digest", format!("{digest:016x}").to_json()),
+            ]));
         }
-        let repeats = opts.repeat.max(1) as f64;
-        let qps = queries as f64 / best;
-        eprintln!(
-            "{setting}: {queries} queries, best {:.1} ms, {:.0} q/s, digest {digest:016x}",
-            best * 1e3,
-            qps
-        );
+        let digest = setting_digest.expect("CONFIGS is non-empty");
+        let (best, mean, qps, hit_rate) = headline.expect("CONFIGS has cache-enabled entries");
+        eprintln!("{setting}: headline {:.0} q/s (digest {digest:016x})", qps);
         results.push(Json::obj(vec![
             ("setting", setting.to_string().to_json()),
             ("queries", (queries as u64).to_json()),
             ("best_elapsed_ms", (best * 1e3).to_json()),
-            ("mean_elapsed_ms", (total / repeats * 1e3).to_json()),
+            ("mean_elapsed_ms", (mean * 1e3).to_json()),
             ("queries_per_sec", qps.to_json()),
+            ("cache_hit_rate", hit_rate.to_json()),
             ("reports_digest", format!("{digest:016x}").to_json()),
+            ("configs", Json::Arr(config_entries)),
         ]));
     }
 
@@ -245,7 +324,11 @@ fn run_bench(opts: &BenchOptions) -> Json {
     ])
 }
 
-/// `--check FILE`: parse with the in-tree JSON crate and validate shape.
+/// `--check FILE`: parse with the in-tree JSON crate and validate the
+/// v2 shape — per-config entries present, digests identical across the
+/// configs of each setting, hit rates within `[0, 1]`, and (when the
+/// file embeds a baseline with a matching setting) the zero-shot
+/// headline at least [`MIN_ZERO_SHOT_SPEEDUP`]× the baseline's.
 fn check_file(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
     let doc = from_str_value(&text).map_err(|e| e.to_string())?;
@@ -265,17 +348,105 @@ fn check_file(path: &str) -> Result<String, String> {
     if results.is_empty() {
         return Err("empty results array".to_owned());
     }
+    let mut configs_seen = 0usize;
     for entry in results {
-        for key in ["setting", "queries", "best_elapsed_ms", "queries_per_sec", "reports_digest"] {
+        let setting = entry.get("setting").and_then(Json::as_str).ok_or("result entry missing setting")?;
+        for key in ["queries", "best_elapsed_ms", "queries_per_sec", "reports_digest"] {
             if entry.get(key).is_none() {
-                return Err(format!("result entry missing {key:?}"));
+                return Err(format!("{setting}: result entry missing {key:?}"));
             }
         }
         entry
             .get("queries_per_sec")
             .and_then(Json::as_f64)
             .filter(|q| *q > 0.0)
-            .ok_or("queries_per_sec must be a positive number")?;
+            .ok_or_else(|| format!("{setting}: queries_per_sec must be a positive number"))?;
+        let setting_digest = entry
+            .get("reports_digest")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{setting}: reports_digest must be a string"))?;
+        check_hit_rate(entry, setting)?;
+        let configs = entry
+            .get("configs")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("{setting}: missing configs array"))?;
+        if configs.is_empty() {
+            return Err(format!("{setting}: empty configs array"));
+        }
+        configs_seen += configs.len();
+        for config in configs {
+            for key in ["batch_size", "cache", "best_elapsed_ms", "queries_per_sec", "cache_entries"] {
+                if config.get(key).is_none() {
+                    return Err(format!("{setting}: config entry missing {key:?}"));
+                }
+            }
+            check_hit_rate(config, setting)?;
+            let digest = config
+                .get("reports_digest")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("{setting}: config entry missing reports_digest"))?;
+            if digest != setting_digest {
+                return Err(format!(
+                    "{setting}: config digest {digest} differs from setting digest \
+                     {setting_digest} — batching/caching changed report bytes"
+                ));
+            }
+        }
     }
-    Ok(format!("{path}: OK ({} settings, schema v{version})", results.len()))
+    let speedup = check_baseline_speedup(&doc)?;
+    let speedup_note = match speedup {
+        Some(s) => format!(", zero-shot {s:.1}x baseline"),
+        None => String::new(),
+    };
+    Ok(format!(
+        "{path}: OK ({} settings, {configs_seen} configs, schema v{version}{speedup_note})",
+        results.len()
+    ))
+}
+
+/// Validate a `cache_hit_rate` field, when present, as a number in `[0, 1]`.
+fn check_hit_rate(entry: &Json, setting: &str) -> Result<(), String> {
+    match entry.get("cache_hit_rate") {
+        None => Err(format!("{setting}: missing cache_hit_rate")),
+        Some(value) => match value.as_f64() {
+            Some(rate) if (0.0..=1.0).contains(&rate) => Ok(()),
+            _ => Err(format!("{setting}: cache_hit_rate must be a number in [0, 1]")),
+        },
+    }
+}
+
+/// When the document embeds a baseline whose results include a
+/// zero-shot entry, require the document's zero-shot headline to be at
+/// least [`MIN_ZERO_SHOT_SPEEDUP`]× the baseline's throughput. Returns
+/// the measured speedup, or `None` when no comparable baseline exists
+/// (smoke runs omit `--baseline`).
+fn check_baseline_speedup(doc: &Json) -> Result<Option<f64>, String> {
+    let find_zero_shot = |node: &Json| -> Option<f64> {
+        node.get("results")?.as_arr()?.iter().find_map(|entry| {
+            let setting = entry.get("setting")?.as_str()?;
+            if setting == "zero-shot" {
+                entry.get("queries_per_sec")?.as_f64()
+            } else {
+                None
+            }
+        })
+    };
+    let baseline = match doc.get("baseline") {
+        Some(b) if !matches!(b, Json::Null) => b,
+        _ => return Ok(None),
+    };
+    let (Some(current), Some(reference)) = (find_zero_shot(doc), find_zero_shot(baseline)) else {
+        return Ok(None);
+    };
+    if reference <= 0.0 {
+        return Ok(None);
+    }
+    let speedup = current / reference;
+    if speedup < MIN_ZERO_SHOT_SPEEDUP {
+        return Err(format!(
+            "zero-shot throughput is only {speedup:.2}x the embedded baseline \
+             (needs >= {MIN_ZERO_SHOT_SPEEDUP}x: {current:.0} vs {reference:.0} q/s)"
+        ));
+    }
+    Ok(Some(speedup))
 }

@@ -148,11 +148,23 @@ pub fn score(question: &Question, parsed: ParsedAnswer) -> Outcome {
     }
 }
 
+/// Default number of queries handed to [`LanguageModel::answer_batch`]
+/// per call — large enough to amortize prefix hashing and lock traffic,
+/// small enough that prompt buffers stay cache-resident.
+pub const DEFAULT_BATCH_SIZE: usize = 32;
+
 /// Runs models over datasets.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct Evaluator {
     config: EvalConfig,
     resilience: ResiliencePolicy,
+    batch_size: usize,
+}
+
+impl Default for Evaluator {
+    fn default() -> Self {
+        Evaluator::new(EvalConfig::default())
+    }
 }
 
 impl Evaluator {
@@ -160,12 +172,24 @@ impl Evaluator {
     /// resilience policy (3 deliveries, exponential backoff, breaker
     /// on — all invisible while models never fail).
     pub fn new(config: EvalConfig) -> Self {
-        Evaluator { config, resilience: ResiliencePolicy::default() }
+        Evaluator {
+            config,
+            resilience: ResiliencePolicy::default(),
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
     }
 
     /// Override the resilience policy applied to every model call.
     pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
         self.resilience = resilience;
+        self
+    }
+
+    /// Override the `answer_batch` batch size (clamped to ≥ 1). Report
+    /// bytes are identical at every batch size — batching only changes
+    /// how attempt-0 deliveries are grouped, never their content.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
         self
     }
 
@@ -179,15 +203,20 @@ impl Evaluator {
         self.resilience
     }
 
+    /// The `answer_batch` batch size in force.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
     /// Evaluate `model` on every question of `dataset`.
     pub fn run(&self, model: &dyn LanguageModel, dataset: &Dataset) -> EvalReport {
         model.reset();
         let mut overall = Metrics::default();
         let mut by_level = Vec::with_capacity(dataset.levels.len());
-        let mut buf = String::new();
+        let mut bufs = Vec::new();
         for slice in &dataset.levels {
             let level_metrics =
-                self.eval_questions(model, &slice.questions, &slice.exemplars, &mut buf);
+                self.eval_questions(model, &slice.questions, &slice.exemplars, &mut bufs);
             overall += level_metrics;
             by_level.push(LevelMetrics { child_level: slice.child_level, metrics: level_metrics });
         }
@@ -211,13 +240,22 @@ impl Evaluator {
         questions: &[Question],
         exemplars: &[Question],
     ) -> Metrics {
-        self.eval_questions(model, questions, exemplars, &mut String::new())
+        self.eval_questions(model, questions, exemplars, &mut Vec::new())
     }
 
     /// The question loop behind [`Evaluator::run`] / `run_questions`:
     /// renders the few-shot prefix once for the whole run and each
-    /// target question into the reused `buf`, so the steady state
-    /// allocates nothing per query.
+    /// batch of target questions into the reused `bufs`, so the steady
+    /// state allocates nothing per query.
+    ///
+    /// Questions are processed in batches of [`Evaluator::batch_size`]:
+    /// each batch's attempt-0 deliveries are prefetched through
+    /// [`LanguageModel::answer_batch`] (where models amortize prefix
+    /// hashing, knowledge lookups and lock traffic), then replayed
+    /// through the session **in question order** via
+    /// [`ResilienceSession::call_prefetched`] — so retries, backoff and
+    /// breaker state evolve exactly as in the sequential path and
+    /// outcome bytes are independent of the batch size.
     ///
     /// Every run gets a *fresh* [`ResilienceSession`]: retry, backoff
     /// and breaker state are local to the question sequence, never
@@ -229,26 +267,45 @@ impl Evaluator {
         model: &dyn LanguageModel,
         questions: &[Question],
         exemplars: &[Question],
-        buf: &mut String,
+        bufs: &mut Vec<String>,
     ) -> Metrics {
         let prefix =
             render_prefix(self.config.setting, self.config.variant, exemplars, PromptSetting::SHOTS);
         let mut session = ResilienceSession::new(self.resilience);
         let mut metrics = Metrics::default();
-        for question in questions {
-            render_prompt_into(question, self.config.setting, self.config.variant, &prefix, buf);
-            let query = Query::new(buf, question, self.config.setting);
-            let outcome = match session.call(model, &query) {
-                Ok(response) => {
-                    let parsed = match question.kind() {
-                        QuestionKind::TrueFalse => parse_tf(&response.text),
-                        QuestionKind::Mcq => parse_mcq(&response.text),
-                    };
-                    score(question, parsed)
-                }
-                Err(_) => Outcome::Failed,
-            };
-            metrics.record(outcome);
+        for chunk in questions.chunks(self.batch_size.max(1)) {
+            if bufs.len() < chunk.len() {
+                bufs.resize_with(chunk.len(), String::new);
+            }
+            for (question, buf) in chunk.iter().zip(bufs.iter_mut()) {
+                render_prompt_into(question, self.config.setting, self.config.variant, &prefix, buf);
+            }
+            let queries: Vec<Query<'_>> = chunk
+                .iter()
+                .zip(bufs.iter())
+                .map(|(question, buf)| {
+                    Query::new(buf, question, self.config.setting).with_prefix_len(prefix.len())
+                })
+                .collect();
+            let firsts = model.answer_batch(&queries);
+            assert_eq!(
+                firsts.len(),
+                queries.len(),
+                "answer_batch must return exactly one result per query"
+            );
+            for (first, query) in firsts.into_iter().zip(&queries) {
+                let outcome = match session.call_prefetched(model, query, first) {
+                    Ok(response) => {
+                        let parsed = match query.question.kind() {
+                            QuestionKind::TrueFalse => parse_tf(&response.text),
+                            QuestionKind::Mcq => parse_mcq(&response.text),
+                        };
+                        score(query.question, parsed)
+                    }
+                    Err(_) => Outcome::Failed,
+                };
+                metrics.record(outcome);
+            }
         }
         metrics
     }

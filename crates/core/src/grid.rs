@@ -55,6 +55,7 @@ pub struct GridRunner {
     config: EvalConfig,
     threads: usize,
     chunk_size: usize,
+    batch_size: usize,
     resilience: ResiliencePolicy,
 }
 
@@ -67,6 +68,7 @@ pub struct GridRunnerBuilder {
     config: EvalConfig,
     threads: Option<usize>,
     chunk_size: usize,
+    batch_size: usize,
     resilience: ResiliencePolicy,
 }
 
@@ -76,6 +78,7 @@ impl Default for GridRunnerBuilder {
             config: EvalConfig::default(),
             threads: None,
             chunk_size: DEFAULT_CHUNK_SIZE,
+            batch_size: crate::eval::DEFAULT_BATCH_SIZE,
             resilience: ResiliencePolicy::default(),
         }
     }
@@ -104,6 +107,14 @@ impl GridRunnerBuilder {
         self
     }
 
+    /// Set the `answer_batch` batch size used inside every chunk
+    /// (clamped to >= 1). Report bytes are identical at every batch
+    /// size; this only tunes how attempt-0 deliveries are grouped.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
     /// Set the resilience policy applied inside every chunk.
     pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
         self.resilience = resilience;
@@ -119,6 +130,7 @@ impl GridRunnerBuilder {
             config: self.config,
             threads,
             chunk_size: self.chunk_size,
+            batch_size: self.batch_size,
             resilience: self.resilience,
         }
     }
@@ -178,7 +190,9 @@ impl GridRunner {
         datasets: &[&Dataset],
         cells: &[GridCell],
     ) -> Vec<EvalReport> {
-        let evaluator = Evaluator::new(self.config).with_resilience(self.resilience);
+        let evaluator = Evaluator::new(self.config)
+            .with_resilience(self.resilience)
+            .with_batch_size(self.batch_size);
 
         // Split every cell into (level, question-range) work units —
         // cell-major, level-major, ascending start, so merging unit

@@ -32,6 +32,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod casestudy;
 pub mod dataset;
 pub mod detailed;
@@ -52,6 +53,7 @@ pub mod sampling;
 pub mod store;
 pub mod templates;
 
+pub use cache::{CachedModel, ResponseCache};
 pub use dataset::{Dataset, DatasetBuilder, QuestionDataset};
 pub use domain::{Domain, TaxonomyKind};
 pub use eval::{EvalConfig, EvalReport, Evaluator};

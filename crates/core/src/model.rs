@@ -33,17 +33,32 @@ pub struct Query<'q> {
     /// query re-rolls its fate instead of failing identically forever;
     /// answer content must NOT depend on it (determinism contract).
     pub attempt: u32,
+    /// Byte length of the shared few-shot prefix at the start of
+    /// `prompt` (0 when there is none). Purely an amortization *hint*
+    /// for [`LanguageModel::answer_batch`]: queries in a batch that
+    /// carry the same nonzero `prefix_len` and byte-identical prefix
+    /// bytes let a model hash/tokenize the prefix once. Models must
+    /// produce identical answers whether or not they honor the hint.
+    pub prefix_len: usize,
 }
 
 impl<'q> Query<'q> {
     /// A first-delivery query (attempt 0).
     pub fn new(prompt: &'q str, question: &'q Question, setting: PromptSetting) -> Self {
-        Query { prompt, question, setting, attempt: 0 }
+        Query { prompt, question, setting, attempt: 0, prefix_len: 0 }
     }
 
     /// The same query re-delivered as retry ordinal `attempt`.
     pub fn with_attempt(mut self, attempt: u32) -> Self {
         self.attempt = attempt;
+        self
+    }
+
+    /// Declare that the first `prefix_len` bytes of the prompt are a
+    /// shared rendered prefix (see [`Query::prefix_len`]).
+    pub fn with_prefix_len(mut self, prefix_len: usize) -> Self {
+        debug_assert!(prefix_len <= self.prompt.len());
+        self.prefix_len = prefix_len;
         self
     }
 }
@@ -156,6 +171,20 @@ pub trait LanguageModel: Send + Sync {
     /// Answer one query with free text, or report why the call failed.
     fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError>;
 
+    /// Answer a batch of queries, one result per query, in order.
+    ///
+    /// The default implementation is a plain loop over [`Self::answer`],
+    /// so every model keeps working unchanged. Implementations may
+    /// override it to amortize per-call work (knowledge lookups,
+    /// few-shot prefix hashing, tokenizer passes, lock acquisition)
+    /// across the batch — but each element of the returned vector MUST
+    /// be exactly what `answer` would have returned for that query
+    /// alone. Batching is an execution detail; it must never be
+    /// observable in the results.
+    fn answer_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Response, ModelError>> {
+        queries.iter().map(|query| self.answer(query)).collect()
+    }
+
     /// Reset any per-run state (default: no-op). Called by the evaluator
     /// before each dataset run.
     fn reset(&self) {}
@@ -170,6 +199,31 @@ impl<M: LanguageModel + ?Sized> LanguageModel for Box<M> {
 
     fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
         (**self).answer(query)
+    }
+
+    fn answer_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Response, ModelError>> {
+        (**self).answer_batch(queries)
+    }
+
+    fn reset(&self) {
+        (**self).reset()
+    }
+}
+
+/// Blanket implementation so `Arc<M>` (how the zoo hands out models)
+/// works wherever a `LanguageModel` is expected — e.g. inside
+/// [`crate::cache::CachedModel`] without re-wrapping.
+impl<M: LanguageModel + ?Sized> LanguageModel for std::sync::Arc<M> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        (**self).answer(query)
+    }
+
+    fn answer_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Response, ModelError>> {
+        (**self).answer_batch(queries)
     }
 
     fn reset(&self) {
@@ -253,6 +307,36 @@ mod tests {
         let query = Query::new("p", &q, PromptSetting::ZeroShot);
         assert_eq!(query.attempt, 0);
         assert_eq!(query.with_attempt(3).attempt, 3);
+    }
+
+    #[test]
+    fn query_prefix_len_defaults_to_zero_and_rebinds() {
+        let q = question();
+        let query = Query::new("pp", &q, PromptSetting::FewShot);
+        assert_eq!(query.prefix_len, 0);
+        assert_eq!(query.with_prefix_len(1).prefix_len, 1);
+    }
+
+    #[test]
+    fn default_answer_batch_loops_in_order() {
+        let m = FixedAnswerModel::always_yes();
+        let q = question();
+        let prompts = ["p0", "p1", "p2"];
+        let queries: Vec<Query<'_>> =
+            prompts.iter().map(|p| Query::new(p, &q, PromptSetting::ZeroShot)).collect();
+        let batch = m.answer_batch(&queries);
+        assert_eq!(batch.len(), 3);
+        for (result, query) in batch.iter().zip(&queries) {
+            assert_eq!(result, &m.answer(query));
+        }
+        // The blanket impls forward answer_batch too.
+        let boxed: Box<dyn LanguageModel> = Box::new(FixedAnswerModel::always_idk());
+        assert_eq!(boxed.answer_batch(&queries).len(), 3);
+        let arced = std::sync::Arc::new(FixedAnswerModel::always_idk());
+        assert_eq!(arced.answer_batch(&queries).len(), 3);
+        assert_eq!(arced.name(), "always-idk");
+        arced.reset();
+        assert!(arced.answer(&queries[0]).is_ok());
     }
 
     #[test]

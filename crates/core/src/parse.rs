@@ -53,72 +53,125 @@ impl FromJson for ParsedAnswer {
 }
 
 /// Parse a True/False response.
+///
+/// One forward pass over word-boundary tokens; the **first** event in
+/// token order wins:
+///
+/// * a decisive token — "yes"/"yeah"/"yep", "no"/"nope", or a judgement
+///   token "correct"/"true"/"incorrect"/"false" (flipped by a directly
+///   preceding "not") — decides the answer, even if hedging follows
+///   ("No, I cannot say for sure …" is a No, not an abstention);
+/// * a *completed* abstention phrase — "don't know" / "dont know" /
+///   "do not know", "not sure", "unsure", "uncertain",
+///   "cannot determine" / "can't determine", "cannot say" — abstains.
+///
+/// "no" must be a whole word so "know"/"north" do not trigger it, and
+/// the interjections "yes"/"no" themselves are never negated ("not no"
+/// is not idiomatic English).
+///
+/// The scan is byte-level and allocation-free: tokens are maximal runs
+/// of ASCII-alphanumeric bytes compared case-insensitively. This splits
+/// exactly like the old per-`char` scan — a non-ASCII char is never
+/// ASCII-alphanumeric, so every byte of its UTF-8 encoding is a
+/// separator either way.
 pub fn parse_tf(response: &str) -> ParsedAnswer {
-    let lower = response.trim().to_ascii_lowercase();
-    if lower.is_empty() {
-        return ParsedAnswer::Unparsed;
-    }
-    // Abstentions first: "i don't know", "i do not know", "not sure",
-    // "cannot determine", "unsure".
-    if lower.contains("don't know")
-        || lower.contains("dont know")
-        || lower.contains("do not know")
-        || lower.contains("not sure")
-        || lower.contains("unsure")
-        || lower.contains("cannot determine")
-        || lower.contains("can't determine")
-        || lower.contains("cannot say")
-        || lower.contains("uncertain")
-    {
-        return ParsedAnswer::IDontKnow;
-    }
-    // Word-boundary scan for the first decisive token. "no" must be a
-    // whole word so "know"/"north" do not trigger it. A directly
-    // preceding "not" negates the judgement tokens ("not true", "not
-    // correct", "not false"); the interjections "yes"/"no" themselves
-    // are never negated ("not no" is not idiomatic English).
-    let mut prev_not = false;
-    for token in lower.split(|c: char| !c.is_ascii_alphanumeric()) {
-        if token.is_empty() {
-            continue;
+    let bytes = response.as_bytes();
+    let eq = |a: &[u8], b: &[u8]| a.eq_ignore_ascii_case(b);
+    let mut prev: &[u8] = b"";
+    let mut prev2: &[u8] = b"";
+    let mut i = 0;
+    while i < bytes.len() {
+        while i < bytes.len() && !bytes[i].is_ascii_alphanumeric() {
+            i += 1;
         }
-        match token {
-            "yes" | "yeah" | "yep" => return ParsedAnswer::Yes,
-            "no" | "nope" => return ParsedAnswer::No,
-            "correct" | "true" if prev_not => return ParsedAnswer::No,
-            "correct" | "true" => return ParsedAnswer::Yes,
-            "incorrect" | "false" if prev_not => return ParsedAnswer::Yes,
-            "incorrect" | "false" => return ParsedAnswer::No,
-            _ => {}
+        let start = i;
+        while i < bytes.len() && bytes[i].is_ascii_alphanumeric() {
+            i += 1;
         }
-        prev_not = token == "not";
+        if start == i {
+            break;
+        }
+        let token = &bytes[start..i];
+        let prev_not = eq(prev, b"not");
+        if eq(token, b"yes") || eq(token, b"yeah") || eq(token, b"yep") {
+            return ParsedAnswer::Yes;
+        }
+        if eq(token, b"no") || eq(token, b"nope") {
+            return ParsedAnswer::No;
+        }
+        if eq(token, b"correct") || eq(token, b"true") {
+            return if prev_not { ParsedAnswer::No } else { ParsedAnswer::Yes };
+        }
+        if eq(token, b"incorrect") || eq(token, b"false") {
+            return if prev_not { ParsedAnswer::Yes } else { ParsedAnswer::No };
+        }
+        // Abstention phrases complete on their last word ("don't know"
+        // tokenizes as don|t|know, "can't determine" as can|t|determine).
+        let abstains = eq(token, b"unsure")
+            || eq(token, b"uncertain")
+            || (eq(token, b"sure") && prev_not)
+            || (eq(token, b"know")
+                && (eq(prev, b"dont")
+                    || (eq(prev, b"t") && eq(prev2, b"don"))
+                    || (prev_not && eq(prev2, b"do"))))
+            || (eq(token, b"determine")
+                && (eq(prev, b"cannot") || (eq(prev, b"t") && eq(prev2, b"can"))))
+            || (eq(token, b"say") && eq(prev, b"cannot"));
+        if abstains {
+            return ParsedAnswer::IDontKnow;
+        }
+        prev2 = prev;
+        prev = token;
     }
     ParsedAnswer::Unparsed
 }
 
+/// Abstention phrases recognized in MCQ responses.
+const MCQ_ABSTENTIONS: [&str; 6] =
+    ["don't know", "dont know", "do not know", "not sure", "none of", "cannot determine"];
+
 /// Parse an MCQ response into an option index.
+///
+/// A decisive option reference wins over a *later* abstention phrase
+/// ("B) — none of the other options fit." picks B); the response only
+/// abstains when no option reference precedes the first hedge.
 pub fn parse_mcq(response: &str) -> ParsedAnswer {
     let trimmed = response.trim();
     if trimmed.is_empty() {
         return ParsedAnswer::Unparsed;
     }
     let lower = trimmed.to_ascii_lowercase();
-    if lower.contains("don't know")
-        || lower.contains("dont know")
-        || lower.contains("do not know")
-        || lower.contains("not sure")
-        || lower.contains("none of")
-        || lower.contains("cannot determine")
-    {
-        return ParsedAnswer::IDontKnow;
+    let abstention = MCQ_ABSTENTIONS.iter().filter_map(|p| lower.find(p)).min();
+    // Option extraction is scoped to the text before the first
+    // abstention phrase: an option named there is the answer; one named
+    // after the hedge ("I don't know … maybe B?") is not a commitment.
+    let scope = match abstention {
+        Some(pos) => &lower[..pos],
+        None => &lower[..],
+    };
+    match extract_option(scope) {
+        Some(opt) => ParsedAnswer::Option(opt),
+        None if abstention.is_some() => ParsedAnswer::IDontKnow,
+        None => ParsedAnswer::Unparsed,
     }
+}
 
-    // Pattern 1: "answer is X" / "option X" / "choose X".
-    for marker in ["answer is ", "answer: ", "option ", "choose ", "select ", "pick "] {
-        if let Some(pos) = lower.find(marker) {
-            if let Some(opt) = letter_at(&lower[pos + marker.len()..]) {
-                return ParsedAnswer::Option(opt);
-            }
+/// Find an option reference in (already lowercased) response text.
+fn extract_option(lower: &str) -> Option<u8> {
+    // Pattern 1: "answer is X" / "option X" / "choose X". Punctuation
+    // and whitespace may separate the marker from the letter ("The
+    // answer is: B", "answer is — B", "answer is 'C'").
+    for marker in ["answer is", "answer:", "option", "choose", "select", "pick"] {
+        let Some(pos) = lower.find(marker) else { continue };
+        let after = &lower[pos + marker.len()..];
+        let candidate = after.trim_start_matches(|c: char| !c.is_ascii_alphanumeric());
+        // The marker must end at a word boundary: "optional b" and
+        // "chooses b" contain marker words only as fragments.
+        if candidate.len() == after.len() && !after.is_empty() {
+            continue;
+        }
+        if let Some(opt) = letter_at(candidate) {
+            return Some(opt);
         }
     }
 
@@ -126,7 +179,7 @@ pub fn parse_mcq(response: &str) -> ParsedAnswer {
     // "B", "B)", "(b)", "b.", "B) Audio".
     let stripped = lower.trim_start_matches(['(', '[', '"', '\'', ' ']);
     if let Some(opt) = letter_at(stripped) {
-        return ParsedAnswer::Option(opt);
+        return Some(opt);
     }
 
     // Pattern 3: anywhere a standalone "x)" appears.
@@ -135,12 +188,12 @@ pub fn parse_mcq(response: &str) -> ParsedAnswer {
         if bytes[i + 1] == b')' && (b'a'..=b'd').contains(&bytes[i]) {
             let preceded_ok = i == 0 || !bytes[i - 1].is_ascii_alphanumeric();
             if preceded_ok {
-                return ParsedAnswer::Option(bytes[i] - b'a');
+                return Some(bytes[i] - b'a');
             }
         }
     }
 
-    ParsedAnswer::Unparsed
+    None
 }
 
 /// If `s` starts with an option letter a–d followed by a non-alphanumeric
@@ -258,5 +311,75 @@ mod tests {
         assert_eq!(parse_mcq("Audio equipment is nice"), ParsedAnswer::Unparsed);
         // "cab)" should not match 'b' because it is preceded by a letter.
         assert_eq!(parse_mcq("the cab) arrived"), ParsedAnswer::Unparsed);
+    }
+
+    #[test]
+    fn mcq_marker_tolerates_punctuation_before_letter() {
+        // Regression: "answer is X" used to require the letter to follow
+        // the marker immediately, so a colon/dash/quote broke extraction.
+        assert_eq!(parse_mcq("The answer is: B"), ParsedAnswer::Option(1));
+        assert_eq!(parse_mcq("The answer is — B"), ParsedAnswer::Option(1));
+        assert_eq!(parse_mcq("The answer is 'C'."), ParsedAnswer::Option(2));
+        assert_eq!(parse_mcq("answer:\n  d"), ParsedAnswer::Option(3));
+        assert_eq!(parse_mcq("I would pick (a)."), ParsedAnswer::Option(0));
+    }
+
+    #[test]
+    fn mcq_marker_requires_word_boundary() {
+        // Marker words embedded in longer words must not trigger
+        // extraction of whatever letter follows.
+        assert_eq!(parse_mcq("optional b sides exist"), ParsedAnswer::Unparsed);
+        assert_eq!(parse_mcq("he chooses b sometimes"), ParsedAnswer::Unparsed);
+        assert_eq!(parse_mcq("the answer isn't clear"), ParsedAnswer::Unparsed);
+        assert_eq!(parse_mcq("selection b is moot"), ParsedAnswer::Unparsed);
+    }
+
+    #[test]
+    fn mcq_decisive_option_beats_later_hedge() {
+        // Regression: the abstention scan used to run first, so a decisive
+        // answer followed by hedging was misread as IDontKnow.
+        assert_eq!(
+            parse_mcq("B) — none of the other options fit."),
+            ParsedAnswer::Option(1)
+        );
+        assert_eq!(
+            parse_mcq("The answer is a; I am not sure about the rest."),
+            ParsedAnswer::Option(0)
+        );
+        // But an option named only AFTER the hedge is not a commitment.
+        assert_eq!(parse_mcq("I don't know — maybe b)?"), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_mcq("Not sure. Could be c)."), ParsedAnswer::IDontKnow);
+    }
+
+    #[test]
+    fn tf_decisive_interjection_beats_later_hedge() {
+        // Regression: abstention phrases used to override an earlier
+        // decisive interjection, contradicting first-decisive-token-wins.
+        assert_eq!(
+            parse_tf("No, I cannot say for sure which level it sits at."),
+            ParsedAnswer::No
+        );
+        assert_eq!(parse_tf("Yes — though honestly I'm not sure."), ParsedAnswer::Yes);
+        assert_eq!(parse_tf("No, I don't know the details."), ParsedAnswer::No);
+        // The hedge still abstains when nothing decisive precedes it.
+        assert_eq!(parse_tf("I cannot say whether that holds."), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_tf("I can't determine that."), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_tf("Honestly, uncertain."), ParsedAnswer::IDontKnow);
+    }
+
+    #[test]
+    fn tf_near_miss_forms_stay_unparsed() {
+        // Fragments of abstention phrases must not abstain on their own.
+        assert_eq!(parse_tf("sure thing, consider it done"), ParsedAnswer::Unparsed);
+        assert_eq!(parse_tf("we say what we can"), ParsedAnswer::Unparsed);
+        assert_eq!(parse_tf("they determine the hierarchy"), ParsedAnswer::Unparsed);
+        assert_eq!(parse_tf("the known knowns"), ParsedAnswer::Unparsed);
+    }
+
+    #[test]
+    fn tf_abstention_is_case_insensitive_and_spans_punctuation() {
+        assert_eq!(parse_tf("I DO NOT KNOW"), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_tf("I Can't Determine that."), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_tf("i dont know"), ParsedAnswer::IDontKnow);
     }
 }

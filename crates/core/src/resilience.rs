@@ -281,6 +281,37 @@ impl ResilienceSession {
         model: &dyn LanguageModel,
         query: &Query<'_>,
     ) -> Result<Response, ModelError> {
+        self.call_impl(model, query, None)
+    }
+
+    /// [`Self::call`] with the attempt-0 delivery already performed.
+    ///
+    /// This is the batching hook: the evaluator prefetches a chunk's
+    /// first deliveries through [`LanguageModel::answer_batch`], then
+    /// replays them through the session in order. Because model answers
+    /// are pure functions of the query (the determinism contract), the
+    /// prefetched result is byte-for-byte what `call` would have
+    /// obtained on its own attempt 0, so breaker state, backoff waits,
+    /// retries and the virtual clock evolve identically. The one
+    /// divergence is deliberate: when the breaker fast-fails, the
+    /// prefetched delivery is discarded *after having been produced*,
+    /// so base-model usage counters (never reports) can exceed the
+    /// sequential path's.
+    pub fn call_prefetched(
+        &mut self,
+        model: &dyn LanguageModel,
+        query: &Query<'_>,
+        first: Result<Response, ModelError>,
+    ) -> Result<Response, ModelError> {
+        self.call_impl(model, query, Some(first))
+    }
+
+    fn call_impl(
+        &mut self,
+        model: &dyn LanguageModel,
+        query: &Query<'_>,
+        mut first: Option<Result<Response, ModelError>>,
+    ) -> Result<Response, ModelError> {
         self.stats.queries += 1;
 
         let mut probing = false;
@@ -308,7 +339,11 @@ impl ResilienceSession {
         let mut attempt = 0u32;
         let result = loop {
             self.stats.deliveries += 1;
-            match model.answer(&query.with_attempt(attempt)) {
+            let delivered = match first.take() {
+                Some(prefetched) if attempt == 0 => prefetched,
+                _ => model.answer(&query.with_attempt(attempt)),
+            };
+            match delivered {
                 Ok(mut response) => {
                     self.clock_s += response.latency_s.max(0.0);
                     response.attempts = attempt + 1;
@@ -416,6 +451,20 @@ impl<M: LanguageModel> LanguageModel for Resilient<M> {
 
     fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
         self.session.lock().expect("resilience session lock not poisoned").call(&self.base, query)
+    }
+
+    fn answer_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Response, ModelError>> {
+        // Prefetch attempt-0 deliveries through the base model's batch
+        // path, then replay them through the session sequentially; see
+        // `ResilienceSession::call_prefetched` for why this is
+        // equivalent to the one-by-one path.
+        let firsts = self.base.answer_batch(queries);
+        let mut session = self.session.lock().expect("resilience session lock not poisoned");
+        firsts
+            .into_iter()
+            .zip(queries)
+            .map(|(first, query)| session.call_prefetched(&self.base, query, first))
+            .collect()
     }
 
     fn reset(&self) {

@@ -19,6 +19,7 @@ pub const M001_PATHS: &[&str] = &[
     "crates/core/src/casestudy.rs",
     "crates/core/src/hybrid.rs",
     "crates/core/src/resilience.rs",
+    "crates/core/src/cache.rs",
     "crates/llm/src/faults.rs",
 ];
 

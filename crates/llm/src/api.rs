@@ -136,13 +136,19 @@ impl ApiClient {
     }
 }
 
-impl LanguageModel for ApiClient {
-    fn name(&self) -> &str {
-        self.inner.name()
-    }
-
-    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
-        let mut stats = self.stats.lock().expect("stats lock not poisoned");
+impl ApiClient {
+    /// The serving loop for one request: retry transient failures with
+    /// backoff, meter latency and tokens. `inner_answer` produces the
+    /// wrapped model's answer — either a live call (sequential path) or
+    /// a delivery prefetched through the batch path; both are the same
+    /// bytes because inner answers are pure per-query and independent
+    /// of the serving attempt ordinal.
+    fn serve(
+        &self,
+        stats: &mut ServingStats,
+        query: &Query<'_>,
+        inner_answer: impl FnOnce() -> Result<Response, ModelError>,
+    ) -> Result<Response, ModelError> {
         stats.requests += 1;
         let mut answered = None;
         let mut request_seconds = 0.0;
@@ -157,7 +163,7 @@ impl LanguageModel for ApiClient {
                     self.config.backoff_base_s * f64::from(1u32 << (attempt - 1).min(8));
                 continue;
             }
-            answered = Some(self.inner.answer(query)?);
+            answered = Some(inner_answer()?);
             break;
         }
         stats.simulated_seconds += request_seconds;
@@ -181,6 +187,41 @@ impl LanguageModel for ApiClient {
         response.latency_s = request_seconds;
         response.attempts = attempts_made;
         Ok(response)
+    }
+}
+
+impl LanguageModel for ApiClient {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        let mut stats = self.stats.lock().expect("stats lock not poisoned");
+        self.serve(&mut stats, query, || self.inner.answer(query))
+    }
+
+    /// Batched answering: prefetch the wrapped model's answers as one
+    /// batch (so its own amortizations apply), then replay the serving
+    /// simulation per request under a single stats lock. Responses and
+    /// `ServingStats` are byte-identical to the sequential path, with
+    /// one documented exception: a request that exhausts its retries
+    /// discards its prefetched answer, so the *inner* model's usage
+    /// counters may exceed the sequential path's (probability
+    /// `failure_rate^max_attempts` per request, ~1.6e-7 at defaults).
+    /// Reports never read those counters.
+    fn answer_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Response, ModelError>> {
+        let inner_answers = self.inner.answer_batch(queries);
+        assert_eq!(
+            inner_answers.len(),
+            queries.len(),
+            "answer_batch must return exactly one result per query"
+        );
+        let mut stats = self.stats.lock().expect("stats lock not poisoned");
+        inner_answers
+            .into_iter()
+            .zip(queries)
+            .map(|(inner_answer, query)| self.serve(&mut stats, query, move || inner_answer))
+            .collect()
     }
 
     fn reset(&self) {
@@ -278,6 +319,43 @@ mod tests {
         // Free for self-hosted.
         let open = ApiClient::new(SimulatedLlm::new(ModelId::FlanT5_3b));
         assert_eq!(open.estimate_cost(1000, 30.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn batch_serving_matches_sequential_responses_and_stats() {
+        use taxoglimpse_core::prompts::{render_prefix, render_prompt_into, PromptSetting};
+        let d = dataset();
+        let config = ApiConfig { failure_rate: 0.25, ..Default::default() };
+        let batched = ApiClient::with_config(SimulatedLlm::new(ModelId::Gpt35), config);
+        let sequential = ApiClient::with_config(SimulatedLlm::new(ModelId::Gpt35), config);
+        for setting in [PromptSetting::ZeroShot, PromptSetting::FewShot] {
+            for slice in &d.levels {
+                let prefix = render_prefix(
+                    setting,
+                    Default::default(),
+                    &slice.exemplars,
+                    PromptSetting::SHOTS,
+                );
+                let prompts: Vec<String> = slice
+                    .questions
+                    .iter()
+                    .map(|q| {
+                        let mut s = String::new();
+                        render_prompt_into(q, setting, Default::default(), &prefix, &mut s);
+                        s
+                    })
+                    .collect();
+                let queries: Vec<Query<'_>> = prompts
+                    .iter()
+                    .zip(&slice.questions)
+                    .map(|(p, q)| Query::new(p, q, setting).with_prefix_len(prefix.len()))
+                    .collect();
+                let batch = batched.answer_batch(&queries);
+                let singles: Vec<_> = queries.iter().map(|q| sequential.answer(q)).collect();
+                assert_eq!(batch, singles, "{setting:?}: batched serving diverged");
+            }
+        }
+        assert_eq!(batched.stats(), sequential.stats(), "serving accounting diverged");
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //!   threshold, MCQ picks the nearest option. This is the "statistical
 //!   IR" baseline a pre-LLM system would actually use.
 
-use crate::knowledge::trigram_similarity;
+use crate::similarity::{self, SimilarityCache};
 use taxoglimpse_core::model::{LanguageModel, ModelError, Query, Response};
 use taxoglimpse_core::question::QuestionBody;
 use taxoglimpse_synth::rng::{hash_str, mix64};
@@ -89,10 +89,13 @@ impl Default for LexicalBaseline {
 }
 
 impl LexicalBaseline {
-    fn matches(&self, child: &str, candidate: &str) -> bool {
-        let cl = child.to_ascii_lowercase();
-        let al = candidate.to_ascii_lowercase();
-        if al.len() >= 4 && cl.contains(&al) {
+    /// Lowercased forms come from the interner, so repeated names across
+    /// a batch (or a whole dataset level) lowercase exactly once.
+    fn matches(&self, cache: &SimilarityCache, child: &str, candidate: &str) -> bool {
+        let child_entry = cache.entry(child);
+        let candidate_entry = cache.entry(candidate);
+        let (cl, al) = (child_entry.lower(), candidate_entry.lower());
+        if al.len() >= 4 && cl.contains(al) {
             return true;
         }
         let cw: Vec<&str> = cl.split(' ').collect();
@@ -103,17 +106,16 @@ impl LexicalBaseline {
         let shared = aw.iter().filter(|w| cw.contains(w)).count();
         shared as f64 / aw.len() as f64 >= self.overlap_threshold
     }
-}
 
-impl LanguageModel for LexicalBaseline {
-    fn name(&self) -> &str {
-        "lexical"
-    }
-
-    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+    /// Answer one query against an explicit similarity cache — the
+    /// shared core of `answer` and `answer_batch`. `cache.similarity`
+    /// is proven identical to the knowledge model's
+    /// `trigram_similarity` (see `crate::similarity`), so routing the
+    /// MCQ arm through it changes no answer bytes.
+    fn respond(&self, query: &Query<'_>, cache: &SimilarityCache) -> Response {
         let text = match &query.question.body {
             QuestionBody::TrueFalse { candidate, .. } => {
-                if self.matches(&query.question.child, candidate) {
+                if self.matches(cache, &query.question.child, candidate) {
                     "Yes.".to_owned()
                 } else {
                     "No.".to_owned()
@@ -124,15 +126,35 @@ impl LanguageModel for LexicalBaseline {
                     .iter()
                     .enumerate()
                     .max_by(|a, b| {
-                        trigram_similarity(&query.question.child, a.1)
-                            .total_cmp(&trigram_similarity(&query.question.child, b.1))
+                        cache
+                            .similarity(&query.question.child, a.1)
+                            .total_cmp(&cache.similarity(&query.question.child, b.1))
                     })
                     .map(|(i, _)| i as u8)
                     .unwrap_or(0);
                 format!("{})", (b'A' + best) as char)
             }
         };
-        Ok(Response::new(text))
+        Response::new(text)
+    }
+}
+
+impl LanguageModel for LexicalBaseline {
+    fn name(&self) -> &str {
+        "lexical"
+    }
+
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        Ok(similarity::with_cache(|cache| self.respond(query, cache)))
+    }
+
+    /// Batched answering: one interner scope for the whole batch, so a
+    /// level's vocabulary (children repeat across options, options
+    /// repeat across questions) is lowercased and trigram-set once.
+    fn answer_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Response, ModelError>> {
+        similarity::with_cache(|cache| {
+            queries.iter().map(|query| Ok(self.respond(query, cache))).collect()
+        })
     }
 }
 

@@ -235,6 +235,36 @@ impl<M: LanguageModel> FaultInjector<M> {
     }
 }
 
+impl FaultStats {
+    /// Record one decided delivery.
+    fn record(&mut self, class: Option<FaultClass>) {
+        self.calls += 1;
+        if class.is_some() {
+            self.injected += 1;
+        }
+        match class {
+            Some(FaultClass::Timeout) => self.timeouts += 1,
+            Some(FaultClass::RateLimited) => self.rate_limited += 1,
+            Some(FaultClass::Truncated) => self.truncated += 1,
+            Some(FaultClass::Unavailable) => self.unavailable += 1,
+            Some(FaultClass::Malformed) => self.malformed += 1,
+            None => {}
+        }
+    }
+}
+
+/// A truncation happens *after* the model spoke: deliver a prefix of
+/// the real response as the partial payload.
+fn truncate_answer(full: Response) -> ModelError {
+    let mut cut = full.text.len() / 2;
+    while cut > 0 && !full.text.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    let mut partial = full.text;
+    partial.truncate(cut);
+    ModelError::Truncated { partial }
+}
+
 impl<M: LanguageModel> LanguageModel for FaultInjector<M> {
     fn name(&self) -> &str {
         self.base.name()
@@ -242,42 +272,70 @@ impl<M: LanguageModel> LanguageModel for FaultInjector<M> {
 
     fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
         let class = self.plan.decide(self.base.name(), query);
-        {
-            let mut stats = self.stats.lock().expect("fault stats lock not poisoned");
-            stats.calls += 1;
-            if class.is_some() {
-                stats.injected += 1;
-            }
-            match class {
-                Some(FaultClass::Timeout) => stats.timeouts += 1,
-                Some(FaultClass::RateLimited) => stats.rate_limited += 1,
-                Some(FaultClass::Truncated) => stats.truncated += 1,
-                Some(FaultClass::Unavailable) => stats.unavailable += 1,
-                Some(FaultClass::Malformed) => stats.malformed += 1,
-                None => {}
-            }
-        }
+        self.stats.lock().expect("fault stats lock not poisoned").record(class);
         match class {
             None => self.base.answer(query),
             Some(FaultClass::Timeout) => Err(ModelError::Timeout),
             Some(FaultClass::RateLimited) => {
                 Err(ModelError::RateLimited { retry_after_s: self.plan.retry_after_s })
             }
-            Some(FaultClass::Truncated) => {
-                // A truncation happens *after* the model spoke: deliver
-                // a prefix of the real response as the partial payload.
-                let full = self.base.answer(query)?;
-                let mut cut = full.text.len() / 2;
-                while cut > 0 && !full.text.is_char_boundary(cut) {
-                    cut -= 1;
-                }
-                let mut partial = full.text;
-                partial.truncate(cut);
-                Err(ModelError::Truncated { partial })
-            }
+            Some(FaultClass::Truncated) => Err(truncate_answer(self.base.answer(query)?)),
             Some(FaultClass::Unavailable) => Err(ModelError::Unavailable),
             Some(FaultClass::Malformed) => Err(ModelError::Malformed),
         }
+    }
+
+    /// Batched injection: per-delivery fates are decided exactly as in
+    /// [`Self::answer`] (they are pure per-query functions), stats are
+    /// merged under a single lock, and only the deliveries that need a
+    /// real answer (fault-free and truncated ones) are forwarded — as
+    /// one sub-batch — to the base model's batch path.
+    fn answer_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Response, ModelError>> {
+        let name = self.base.name();
+        let classes: Vec<Option<FaultClass>> =
+            queries.iter().map(|query| self.plan.decide(name, query)).collect();
+        {
+            let mut stats = self.stats.lock().expect("fault stats lock not poisoned");
+            for class in &classes {
+                stats.record(*class);
+            }
+        }
+        let base_queries: Vec<Query<'_>> = classes
+            .iter()
+            .zip(queries)
+            .filter(|(class, _)| matches!(class, None | Some(FaultClass::Truncated)))
+            .map(|(_, query)| *query)
+            .collect();
+        let base_answers = self.base.answer_batch(&base_queries);
+        assert_eq!(
+            base_answers.len(),
+            base_queries.len(),
+            "answer_batch must return exactly one result per query"
+        );
+        let mut base_answers = base_answers.into_iter();
+        classes
+            .iter()
+            .map(|class| match class {
+                None => base_answers
+                    .next()
+                    .expect("base sub-batch covers every fault-free delivery"),
+                Some(FaultClass::Timeout) => Err(ModelError::Timeout),
+                Some(FaultClass::RateLimited) => {
+                    Err(ModelError::RateLimited { retry_after_s: self.plan.retry_after_s })
+                }
+                Some(FaultClass::Truncated) => {
+                    let full = base_answers
+                        .next()
+                        .expect("base sub-batch covers every truncated delivery");
+                    match full {
+                        Ok(response) => Err(truncate_answer(response)),
+                        Err(error) => Err(error),
+                    }
+                }
+                Some(FaultClass::Unavailable) => Err(ModelError::Unavailable),
+                Some(FaultClass::Malformed) => Err(ModelError::Malformed),
+            })
+            .collect()
     }
 
     fn reset(&self) {

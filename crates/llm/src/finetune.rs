@@ -56,18 +56,13 @@ impl<M: LanguageModel> InstructionTuned<M> {
     pub fn base(&self) -> &M {
         &self.base
     }
-}
 
-impl<M: LanguageModel> LanguageModel for InstructionTuned<M> {
-    fn name(&self) -> &str {
-        &self.name
-    }
-
-    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
-        let base_answer = self.base.answer(query)?;
+    /// Apply the tuning treatment to one successful base delivery — the
+    /// pure post-processing step shared by `answer` and `answer_batch`.
+    fn tune(&self, query: &Query<'_>, base_answer: Response) -> Response {
         let question = query.question;
         if !self.covers(question.taxonomy) {
-            return Ok(base_answer);
+            return base_answer;
         }
         let parsed = match question.kind() {
             QuestionKind::TrueFalse => parse_tf(&base_answer.text),
@@ -80,7 +75,7 @@ impl<M: LanguageModel> LanguageModel for InstructionTuned<M> {
                 | (ParsedAnswer::No, taxoglimpse_core::question::GoldAnswer::No)
         ) || matches!((parsed, gold), (ParsedAnswer::Option(i), taxoglimpse_core::question::GoldAnswer::Option(j)) if i == j);
         if is_correct {
-            return Ok(base_answer);
+            return base_answer;
         }
         // Deterministically fix a `fix_rate` fraction of the errors.
         let h = mix64(hash_str(self.seed, &query.prompt));
@@ -100,9 +95,36 @@ impl<M: LanguageModel> LanguageModel for InstructionTuned<M> {
                 }
             }
         } else {
-            return Ok(base_answer);
+            return base_answer;
         };
-        Ok(Response::new(corrected))
+        Response::new(corrected)
+    }
+}
+
+impl<M: LanguageModel> LanguageModel for InstructionTuned<M> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        Ok(self.tune(query, self.base.answer(query)?))
+    }
+
+    /// Batched answering: delegate the whole batch to the base model's
+    /// batch path, then apply the (pure, per-query) tuning treatment to
+    /// each successful delivery.
+    fn answer_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Response, ModelError>> {
+        let base_answers = self.base.answer_batch(queries);
+        assert_eq!(
+            base_answers.len(),
+            queries.len(),
+            "answer_batch must return exactly one result per query"
+        );
+        base_answers
+            .into_iter()
+            .zip(queries)
+            .map(|(answer, query)| answer.map(|response| self.tune(query, response)))
+            .collect()
     }
 
     fn reset(&self) {

@@ -100,10 +100,17 @@ impl SimulatedLlm {
     }
 
     fn verdict(&self, query: &Query<'_>) -> Verdict {
-        let question = query.question;
         // Condition on what the model actually sees: the number of
         // answered exemplars in the prompt (few-shot saturation).
         let shots = query.prompt.matches("Example: ").count();
+        self.verdict_with_shots(query, shots)
+    }
+
+    /// [`Self::verdict`] with the exemplar count already known — the
+    /// batch path counts the shared prefix's exemplars once instead of
+    /// rescanning the full prompt per query.
+    fn verdict_with_shots(&self, query: &Query<'_>, shots: usize) -> Verdict {
+        let question = query.question;
         let decision = self.knowledge.decide_with_shots(question, query.setting, shots);
         let setting_tag = query.setting as u64 + 1;
         let base = self.draw_base(question, setting_tag);
@@ -146,6 +153,49 @@ impl SimulatedLlm {
     }
 }
 
+/// Precomputed state of a batch's shared few-shot prefix: everything
+/// `answer` derives from the prompt that splits cleanly at the
+/// prefix/suffix boundary.
+struct BatchPrefix {
+    len: usize,
+    shots: usize,
+    prompt_tokens: u64,
+    noise: StreamHasher,
+}
+
+impl SimulatedLlm {
+    /// The batch's shared prefix, if every query declares the same
+    /// `prefix_len`, the bytes verify against the first query, and the
+    /// prefix ends in `'\n'` (as `render_prefix` output always does).
+    ///
+    /// The trailing newline is what makes per-query work splittable at
+    /// the boundary with *exact* equality to the unsplit computation:
+    /// `"Example: "` contains no `'\n'`, so no occurrence can span the
+    /// boundary, and the tokenizer derives tokens from whitespace-split
+    /// words, so token counts are additive across a whitespace
+    /// boundary. The noise hasher is a [`StreamHasher`], documented
+    /// byte-for-byte equal to one-shot hashing however the input is
+    /// split.
+    fn batch_prefix<'p>(queries: &[Query<'p>]) -> Option<&'p str> {
+        let first = queries.first()?;
+        if first.prefix_len == 0 {
+            return None;
+        }
+        let prefix = first.prompt.get(..first.prefix_len)?;
+        if !prefix.ends_with('\n') {
+            return None;
+        }
+        queries
+            .iter()
+            .all(|q| {
+                q.prefix_len == prefix.len()
+                    && q.prompt.len() >= prefix.len()
+                    && q.prompt.as_bytes()[..prefix.len()] == *prefix.as_bytes()
+            })
+            .then_some(prefix)
+    }
+}
+
 impl LanguageModel for SimulatedLlm {
     fn name(&self) -> &str {
         self.id.display_name()
@@ -160,6 +210,59 @@ impl LanguageModel for SimulatedLlm {
         usage.prompt_tokens += self.tokenizer.count(&query.prompt) as u64;
         usage.completion_tokens += self.tokenizer.count(&text) as u64;
         Ok(Response::new(text))
+    }
+
+    /// Batched answering: answers are byte-identical to per-query
+    /// [`Self::answer`] calls; only the per-query *work* changes. When
+    /// the batch shares a verified few-shot prefix, the exemplar scan,
+    /// the prompt-noise hash state and the prompt token count of the
+    /// prefix are computed once and only suffixes are processed per
+    /// query; usage counters are merged under a single lock either way.
+    fn answer_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Response, ModelError>> {
+        let prefix_state = Self::batch_prefix(queries).map(|prefix| {
+            let mut noise = StreamHasher::new(self.seed ^ 0xF00D);
+            noise.write_str(prefix);
+            BatchPrefix {
+                len: prefix.len(),
+                shots: prefix.matches("Example: ").count(),
+                prompt_tokens: self.tokenizer.count(prefix) as u64,
+                noise,
+            }
+        });
+        let mut local = UsageStats::default();
+        let results: Vec<Result<Response, ModelError>> = queries
+            .iter()
+            .map(|query| {
+                let (shots, noise, prompt_tokens) = match &prefix_state {
+                    Some(p) => {
+                        let suffix = &query.prompt[p.len..];
+                        let mut h = p.noise.clone();
+                        h.write_str(suffix);
+                        (
+                            p.shots + suffix.matches("Example: ").count(),
+                            h.finish(),
+                            p.prompt_tokens + self.tokenizer.count(suffix) as u64,
+                        )
+                    }
+                    None => (
+                        query.prompt.matches("Example: ").count(),
+                        hash_str(self.seed ^ 0xF00D, query.prompt),
+                        self.tokenizer.count(query.prompt) as u64,
+                    ),
+                };
+                let verdict = self.verdict_with_shots(query, shots);
+                let text = render(self.id, query.question, verdict, query.setting, noise);
+                local.queries += 1;
+                local.prompt_tokens += prompt_tokens;
+                local.completion_tokens += self.tokenizer.count(&text) as u64;
+                Ok(Response::new(text))
+            })
+            .collect();
+        let mut usage = self.usage.lock().expect("usage lock not poisoned");
+        usage.queries += local.queries;
+        usage.prompt_tokens += local.prompt_tokens;
+        usage.completion_tokens += local.completion_tokens;
+        results
     }
 
     fn reset(&self) {
@@ -232,6 +335,47 @@ mod tests {
         assert!(usage.completion_tokens >= usage.queries);
         m.reset();
         assert_eq!(m.usage(), UsageStats::default());
+    }
+
+    #[test]
+    fn batch_answers_and_usage_match_single_calls() {
+        use taxoglimpse_core::model::Query;
+        use taxoglimpse_core::prompts::{render_prefix, render_prompt_into};
+        let t = generate(TaxonomyKind::Ebay, GenOptions { seed: 9, scale: 0.3 }).unwrap();
+        let d = DatasetBuilder::new(&t, TaxonomyKind::Ebay, 9)
+            .sample_cap(Some(30))
+            .build(QuestionDataset::Hard)
+            .unwrap();
+        let batched = SimulatedLlm::new(ModelId::Gpt4);
+        let sequential = SimulatedLlm::new(ModelId::Gpt4);
+        for setting in [PromptSetting::ZeroShot, PromptSetting::FewShot] {
+            for slice in &d.levels {
+                let prefix = render_prefix(
+                    setting,
+                    Default::default(),
+                    &slice.exemplars,
+                    PromptSetting::SHOTS,
+                );
+                let prompts: Vec<String> = slice
+                    .questions
+                    .iter()
+                    .map(|q| {
+                        let mut s = String::new();
+                        render_prompt_into(q, setting, Default::default(), &prefix, &mut s);
+                        s
+                    })
+                    .collect();
+                let queries: Vec<Query<'_>> = prompts
+                    .iter()
+                    .zip(&slice.questions)
+                    .map(|(p, q)| Query::new(p, q, setting).with_prefix_len(prefix.len()))
+                    .collect();
+                let batch = batched.answer_batch(&queries);
+                let singles: Vec<_> = queries.iter().map(|q| sequential.answer(q)).collect();
+                assert_eq!(batch, singles, "{setting:?}: batched path diverged");
+            }
+        }
+        assert_eq!(batched.usage(), sequential.usage(), "usage accounting diverged");
     }
 
     #[test]

@@ -53,8 +53,13 @@ cargo run --release --offline -q -p taxoglimpse-lint -- \
 rm -f "$LINT_OUT"
 
 # 4. Bench plumbing smoke: the committed baseline must parse and pass
-#    shape validation with the in-tree JSON crate, and a quick-mode
-#    bench run must produce a file that does too. Quick mode shrinks
+#    shape validation with the in-tree JSON crate — for the committed
+#    file that includes the v2 acceptance gates: every batch/cache
+#    config's reports_digest equal within each setting, hit rates in
+#    [0, 1], and the zero-shot headline >= 2x the embedded baseline.
+#    Then a quick-mode bench run (which sweeps every batched + cached
+#    config too, aborting in-process on any digest divergence) must
+#    produce a file that passes the same validation. Quick mode shrinks
 #    the workload so this costs seconds, not a real measurement.
 echo "==> bench smoke (TAXOGLIMPSE_BENCH_QUICK)"
 cargo run --release --offline -q -p taxoglimpse-bench --bin bench_eval -- \
@@ -65,6 +70,14 @@ TAXOGLIMPSE_BENCH_QUICK=1 cargo run --release --offline -q \
 cargo run --release --offline -q -p taxoglimpse-bench --bin bench_eval -- \
     --check "$SMOKE_OUT"
 rm -f "$SMOKE_OUT"
+
+# 4b. Answer-extraction audit: the adversarial parser corpus (the three
+#     PR 6 parser fixes plus the near-miss forms that must stay
+#     Unparsed) and its pinned-digest neutrality proof. Tier-1 already
+#     ran the whole suite; re-running just this corpus here keeps the
+#     parser contract visible as its own verification step.
+echo "==> answer-extraction corpus audit"
+cargo test --release --offline -q --test parser_corpus
 
 # 5. Data-production bench plumbing, same contract as stage 4: the
 #    committed BENCH_synth.json must pass shape validation, and a

@@ -42,6 +42,7 @@ pub use taxoglimpse_taxonomy as taxonomy;
 /// (sequential and grid), resilience, and fault injection.
 pub mod prelude {
     pub use taxoglimpse_core::{
+        cache::{CachedModel, ResponseCache},
         dataset::{DatasetBuilder, QuestionDataset},
         domain::{Domain, TaxonomyKind},
         eval::{EvalConfig, EvalReport, Evaluator},

@@ -207,6 +207,148 @@ fn reports_are_worker_count_invariant() {
     }
 }
 
+/// PR 6: the batched executor and the response cache are pure execution
+/// details. Reports must be byte-identical across batch sizes {1, 32,
+/// 256} × worker counts {1, 2, 8}, with the cache off, cold, and warm
+/// — all compared against the plain sequential evaluator pass.
+#[test]
+fn batched_and_cached_grid_is_byte_identical_to_sequential() {
+    use std::sync::Arc;
+
+    let ds = datasets();
+    let dataset_refs: Vec<&Dataset> = ds.iter().collect();
+    let zoo = ModelZoo::default_zoo();
+    let gpt4 = zoo.get(ModelId::Gpt4).unwrap();
+    let flan = zoo.get(ModelId::FlanT5_3b).unwrap();
+
+    for setting in [PromptSetting::ZeroShot, PromptSetting::FewShot] {
+        let config = EvalConfig { setting, ..Default::default() };
+        let evaluator = Evaluator::new(config);
+        let sequential: Vec<String> = [gpt4.as_ref(), flan.as_ref()]
+            .iter()
+            .flat_map(|m| {
+                dataset_refs
+                    .iter()
+                    .map(|d| taxoglimpse::json::to_string(&evaluator.run(*m, d)).unwrap())
+            })
+            .collect();
+
+        for batch in [1usize, 32, 256] {
+            for threads in [1usize, 2, 8] {
+                for cache_on in [false, true] {
+                    let shared = Arc::new(ResponseCache::new());
+                    let cached = [Arc::clone(&gpt4), Arc::clone(&flan)]
+                        .map(|m| CachedModel::with_cache(m, Arc::clone(&shared)));
+                    let models: Vec<&dyn LanguageModel> = if cache_on {
+                        cached.iter().map(|m| m as &dyn LanguageModel).collect()
+                    } else {
+                        vec![gpt4.as_ref(), flan.as_ref()]
+                    };
+                    let runner = GridRunner::builder()
+                        .with_config(config)
+                        .with_threads(threads)
+                        .with_chunk_size(16)
+                        .with_batch_size(batch)
+                        .build();
+                    // Two passes with the same cache: the first runs
+                    // cold (filling it), the second warm (served from
+                    // it). Both must equal the sequential bytes.
+                    for pass in ["cold", "warm"] {
+                        let rendered: Vec<String> = runner
+                            .run_cross(&models, &dataset_refs)
+                            .iter()
+                            .map(|r| taxoglimpse::json::to_string(r).unwrap())
+                            .collect();
+                        assert_eq!(
+                            rendered, sequential,
+                            "setting {setting}, batch {batch}, threads {threads}, \
+                             cache {cache_on} ({pass})"
+                        );
+                        if !cache_on {
+                            break;
+                        }
+                    }
+                    if cache_on {
+                        let stats = shared.stats();
+                        assert!(
+                            stats.hits > 0 && stats.misses > 0,
+                            "warm pass must actually hit: {stats:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The same invariance under the PR 5 fault/resilience stack: with a
+/// deterministic fault plan injecting failures around a cached model
+/// (`FaultInjector<CachedModel<_>>` — the cache only ever sees
+/// successful deliveries), reports stay byte-identical across batch
+/// sizes, worker counts, and cache off/cold/warm.
+#[test]
+fn batched_and_cached_grid_is_fault_invariant() {
+    use std::sync::Arc;
+    use taxoglimpse::core::resilience::ResiliencePolicy;
+    use taxoglimpse::llm::faults::{FaultInjector, FaultPlan};
+
+    let ds = datasets();
+    let dataset_refs: Vec<&Dataset> = ds.iter().collect();
+    let plan = FaultPlan::uniform(0x5EED_FA17, 0.3);
+    let policy = ResiliencePolicy::default().with_max_attempts(4).without_breaker();
+    let config = EvalConfig::default();
+
+    let sequential: Vec<String> = {
+        let model =
+            FaultInjector::new(SimulatedLlm::new(ModelId::Gpt4), plan.clone());
+        let evaluator = Evaluator::new(config).with_resilience(policy);
+        dataset_refs
+            .iter()
+            .map(|d| taxoglimpse::json::to_string(&evaluator.run(&model, d)).unwrap())
+            .collect()
+    };
+
+    for batch in [1usize, 32, 256] {
+        for threads in [1usize, 2, 8] {
+            for cache_on in [false, true] {
+                let shared = Arc::new(ResponseCache::new());
+                let cached = FaultInjector::new(
+                    CachedModel::with_cache(SimulatedLlm::new(ModelId::Gpt4), Arc::clone(&shared)),
+                    plan.clone(),
+                );
+                let plain =
+                    FaultInjector::new(SimulatedLlm::new(ModelId::Gpt4), plan.clone());
+                let models: Vec<&dyn LanguageModel> = if cache_on {
+                    vec![&cached]
+                } else {
+                    vec![&plain]
+                };
+                let runner = GridRunner::builder()
+                    .with_config(config)
+                    .with_threads(threads)
+                    .with_chunk_size(16)
+                    .with_batch_size(batch)
+                    .with_resilience(policy)
+                    .build();
+                for pass in ["cold", "warm"] {
+                    let rendered: Vec<String> = runner
+                        .run_cross(&models, &dataset_refs)
+                        .iter()
+                        .map(|r| taxoglimpse::json::to_string(r).unwrap())
+                        .collect();
+                    assert_eq!(
+                        rendered, sequential,
+                        "batch {batch}, threads {threads}, cache {cache_on} ({pass})"
+                    );
+                    if !cache_on {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// A saved snapshot must load back digest-identical, and a corrupted
 /// one must miss (load → `None`) and regenerate through
 /// `load_or_generate` — silently serving corrupt bytes is the one
