@@ -92,6 +92,26 @@ impl CacheStats {
     }
 }
 
+/// Counters are additive, so per-shard snapshots aggregate into a
+/// fleet-wide view (`bench_shard` sums one snapshot per shard cache).
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, rhs: CacheStats) {
+        self.hits += rhs.hits;
+        self.misses += rhs.misses;
+        self.insertions += rhs.insertions;
+    }
+}
+
+impl std::iter::Sum for CacheStats {
+    fn sum<I: Iterator<Item = CacheStats>>(iter: I) -> CacheStats {
+        let mut total = CacheStats::default();
+        for stats in iter {
+            total += stats;
+        }
+        total
+    }
+}
+
 /// A sharded exact-memoization store for model responses. See the
 /// module docs for the key derivation and invalidation rules.
 pub struct ResponseCache {
@@ -503,6 +523,18 @@ mod tests {
         let stats = model.cache().stats();
         assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
         assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_stats_aggregate_across_shards() {
+        let a = CacheStats { hits: 3, misses: 1, insertions: 1 };
+        let b = CacheStats { hits: 1, misses: 3, insertions: 2 };
+        let mut via_add_assign = a;
+        via_add_assign += b;
+        let via_sum: CacheStats = [a, b].into_iter().sum();
+        assert_eq!(via_add_assign, via_sum);
+        assert_eq!(via_sum, CacheStats { hits: 4, misses: 4, insertions: 3 });
+        assert!((via_sum.hit_rate() - 0.5).abs() < 1e-12);
     }
 
     #[test]

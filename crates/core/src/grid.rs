@@ -57,6 +57,7 @@ pub struct GridRunner {
     chunk_size: usize,
     batch_size: usize,
     resilience: ResiliencePolicy,
+    shard: Option<usize>,
 }
 
 /// Builds a [`GridRunner`]: the one place to set the evaluation
@@ -70,6 +71,7 @@ pub struct GridRunnerBuilder {
     chunk_size: usize,
     batch_size: usize,
     resilience: ResiliencePolicy,
+    shard: Option<usize>,
 }
 
 impl Default for GridRunnerBuilder {
@@ -80,6 +82,7 @@ impl Default for GridRunnerBuilder {
             chunk_size: DEFAULT_CHUNK_SIZE,
             batch_size: crate::eval::DEFAULT_BATCH_SIZE,
             resilience: ResiliencePolicy::default(),
+            shard: None,
         }
     }
 }
@@ -121,6 +124,16 @@ impl GridRunnerBuilder {
         self
     }
 
+    /// Label this runner as shard `shard` of a sharded run
+    /// (`core::shard`). The label is pure attribution: it prefixes cell
+    /// panic reports so a failure in a sharded grid names the shard it
+    /// happened on, and it never influences scheduling, evaluation, or
+    /// report bytes.
+    pub fn with_shard_id(mut self, shard: usize) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
     /// Finish: resolve defaults into a runner.
     pub fn build(self) -> GridRunner {
         let threads = self.threads.unwrap_or_else(|| {
@@ -132,6 +145,7 @@ impl GridRunnerBuilder {
             chunk_size: self.chunk_size,
             batch_size: self.batch_size,
             resilience: self.resilience,
+            shard: self.shard,
         }
     }
 }
@@ -142,23 +156,9 @@ impl GridRunner {
         GridRunnerBuilder::default()
     }
 
-    /// A runner using up to `threads` workers (clamped to ≥ 1).
-    #[deprecated(since = "0.2.0", note = "use GridRunner::builder().with_config(..).with_threads(..)")]
-    pub fn new(config: EvalConfig, threads: usize) -> Self {
-        Self::builder().with_config(config).with_threads(threads).build()
-    }
-
     /// A runner sized to the machine's available parallelism.
     pub fn with_available_parallelism(config: EvalConfig) -> Self {
         Self::builder().with_config(config).build()
-    }
-
-    /// Override the questions-per-work-unit granularity (clamped to
-    /// ≥ 1).
-    #[deprecated(since = "0.2.0", note = "use GridRunner::builder().with_chunk_size(..)")]
-    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
-        self.chunk_size = chunk_size.max(1);
-        self
     }
 
     /// Evaluate the full cross product of `models` × `datasets`.
@@ -281,8 +281,15 @@ impl GridRunner {
                         _ => None,
                     })?;
                 let dataset = datasets[cell.dataset];
+                // Sharded runs (`core::shard`) label each per-shard
+                // runner, so a failure stays attributable to the shard
+                // that owned the cell.
+                let shard = match self.shard {
+                    Some(s) => format!("shard {s} "),
+                    None => String::new(),
+                };
                 Some(format!(
-                    "cell (model `{}`, dataset `{:?}`) level {} questions {}..{}: {reason}",
+                    "{shard}cell (model `{}`, dataset `{:?}`) level {} questions {}..{}: {reason}",
                     models[cell.model].name(),
                     dataset.taxonomy,
                     dataset.levels[unit.level].child_level,
@@ -335,8 +342,9 @@ impl GridRunner {
 
 type ChunkResult = Result<Metrics, String>;
 
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Best-effort extraction of a panic payload's message (shared with
+/// `crate::shard`, which labels per-slot failures the same way).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -401,29 +409,6 @@ mod tests {
         let models: Vec<&dyn LanguageModel> = vec![&yes];
         let reports = GridRunner::builder().with_threads(1).build().run_cross(&models, &dataset_refs);
         assert_eq!(reports.len(), 2);
-    }
-
-    /// The deprecated constructors must keep working (and agreeing with
-    /// the builder) for the shim release.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_match_builder() {
-        let ds = datasets();
-        let dataset_refs: Vec<&Dataset> = ds.iter().collect();
-        let yes = FixedAnswerModel::always_yes();
-        let models: Vec<&dyn LanguageModel> = vec![&yes];
-        let via_shim = GridRunner::new(EvalConfig::default(), 2)
-            .with_chunk_size(7)
-            .run_cross(&models, &dataset_refs);
-        let via_builder = GridRunner::builder()
-            .with_threads(2)
-            .with_chunk_size(7)
-            .build()
-            .run_cross(&models, &dataset_refs);
-        assert_eq!(via_shim.len(), via_builder.len());
-        for (a, b) in via_shim.iter().zip(&via_builder) {
-            assert_eq!(a.overall, b.overall);
-        }
     }
 
     #[test]
@@ -505,6 +490,39 @@ mod tests {
         assert!(
             message.contains(&format!("level {first_level} questions 0..5")),
             "chunked failure must carry its question range: {message}"
+        );
+    }
+
+    /// Regression (PR 7): a shard-labelled runner prefixes cell panic
+    /// reports with its shard id; an unlabelled runner stays as before.
+    #[test]
+    fn panic_report_names_shard_when_labelled() {
+        let ds = datasets();
+        let dataset_refs: Vec<&Dataset> = vec![&ds[0]];
+        let bad = PanickingModel;
+        let models: Vec<&dyn LanguageModel> = vec![&bad];
+
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            GridRunner::builder()
+                .with_threads(1)
+                .with_shard_id(5)
+                .build()
+                .run_cross(&models, &dataset_refs)
+        }));
+        let message = panic_message(result.expect_err("grid should surface the failure").as_ref());
+        assert!(
+            message.contains("shard 5 cell (model `panicker`"),
+            "sharded failure must carry its shard id: {message}"
+        );
+
+        let unlabelled = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            GridRunner::builder().with_threads(1).build().run_cross(&models, &dataset_refs)
+        }));
+        let message =
+            panic_message(unlabelled.expect_err("grid should surface the failure").as_ref());
+        assert!(
+            message.contains("panicked: cell (model `panicker`"),
+            "unsharded failures must not grow a shard label: {message}"
         );
     }
 

@@ -28,6 +28,10 @@
 //! * **Instance typing** (§4.5): [`instance_typing`].
 //! * **Case study** (§5.3): hybrid LLM + truncated-taxonomy product
 //!   retrieval with precision/recall accounting ([`casestudy`]).
+//! * **Sharded scale-out** ([`shard`]): one logical benchmark over
+//!   partitioned taxonomies and grids behind a deterministic
+//!   content-keyed router; merged reports are byte-identical across
+//!   shard counts.
 
 #![warn(missing_docs)]
 
@@ -50,6 +54,7 @@ pub mod qgen;
 pub mod question;
 pub mod resilience;
 pub mod sampling;
+pub mod shard;
 pub mod store;
 pub mod templates;
 
@@ -64,3 +69,4 @@ pub use model::{LanguageModel, ModelError, Query, Response};
 pub use prompts::PromptSetting;
 pub use question::{NegativeKind, Question, QuestionBody, QuestionKind};
 pub use resilience::{BackoffPolicy, BreakerPolicy, Resilient, ResiliencePolicy};
+pub use shard::{ShardRouter, ShardRun, ShardedDataset};

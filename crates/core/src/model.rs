@@ -210,6 +210,27 @@ impl<M: LanguageModel + ?Sized> LanguageModel for Box<M> {
     }
 }
 
+/// Blanket implementation so `&M` works wherever a `LanguageModel` is
+/// expected — e.g. sharded runs (`crate::shard`) handing the same
+/// per-shard model stack to several evaluation calls without cloning.
+impl<M: LanguageModel + ?Sized> LanguageModel for &M {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        (**self).answer(query)
+    }
+
+    fn answer_batch(&self, queries: &[Query<'_>]) -> Vec<Result<Response, ModelError>> {
+        (**self).answer_batch(queries)
+    }
+
+    fn reset(&self) {
+        (**self).reset()
+    }
+}
+
 /// Blanket implementation so `Arc<M>` (how the zoo hands out models)
 /// works wherever a `LanguageModel` is expected — e.g. inside
 /// [`crate::cache::CachedModel`] without re-wrapping.

@@ -20,6 +20,7 @@ pub const M001_PATHS: &[&str] = &[
     "crates/core/src/hybrid.rs",
     "crates/core/src/resilience.rs",
     "crates/core/src/cache.rs",
+    "crates/core/src/shard.rs",
     "crates/llm/src/faults.rs",
 ];
 

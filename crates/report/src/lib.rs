@@ -4,15 +4,18 @@
 //! CSV tables ([`table`]), text "figures" (per-level accuracy curves,
 //! radar-chart data, scalability series — [`figures`]), and the
 //! paper-vs-measured comparison used to fill EXPERIMENTS.md
-//! ([`compare`]).
+//! ([`compare`]), plus the order-stable merge of per-shard partial
+//! reports ([`merge`]).
 
 #![warn(missing_docs)]
 
 pub mod compare;
 pub mod figures;
 pub mod leaderboard;
+pub mod merge;
 pub mod table;
 
 pub use compare::{CellComparison, ComparisonSummary};
 pub use figures::Series;
+pub use merge::{merge_reports, merge_sharded, MergeError};
 pub use table::Table;

@@ -1,0 +1,171 @@
+//! Order-stable merging of per-shard evaluation reports.
+//!
+//! Sharded runs (`taxoglimpse_core::shard`) produce one partial
+//! [`EvalReport`] per shard, every partial carrying the *full* level
+//! skeleton with metrics only from the shard's own slots. Merging is
+//! therefore pure counter addition: validate that every part describes
+//! the same logical run, then sum [`Metrics`] per level **in part
+//! order** (shard-index order, which within each shard already summed
+//! slots in ascending slot order).
+//!
+//! Counter addition over `usize` is associative and commutative, so
+//! once each slot's counters are shard-count-invariant (the `shard`
+//! module's determinism argument), the merged report's bytes are too —
+//! the ordered merge here keeps the construction auditable rather than
+//! relying on commutativity.
+
+use std::fmt;
+use taxoglimpse_core::eval::{EvalReport, LevelMetrics};
+use taxoglimpse_core::metrics::Metrics;
+use taxoglimpse_core::shard::ShardRun;
+
+/// Why a set of partial reports refused to merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// No parts were supplied.
+    Empty,
+    /// Part `index` describes a different (model, taxonomy, flavor,
+    /// setting) than part 0.
+    IdentityMismatch {
+        /// Index of the offending part.
+        index: usize,
+    },
+    /// Part `index` carries a different per-level skeleton than part 0.
+    LevelMismatch {
+        /// Index of the offending part.
+        index: usize,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Empty => write!(f, "no partial reports to merge"),
+            MergeError::IdentityMismatch { index } => {
+                write!(f, "partial report {index} describes a different run than part 0")
+            }
+            MergeError::LevelMismatch { index } => {
+                write!(f, "partial report {index} has a different level structure than part 0")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merge per-shard partial reports into one logical report, in part
+/// order. Every part must agree on (model, taxonomy, flavor, setting)
+/// and on the per-level skeleton.
+pub fn merge_reports(parts: &[EvalReport]) -> Result<EvalReport, MergeError> {
+    let first = parts.first().ok_or(MergeError::Empty)?;
+    let mut by_level: Vec<LevelMetrics> = first
+        .by_level
+        .iter()
+        .map(|l| LevelMetrics { child_level: l.child_level, metrics: Metrics::default() })
+        .collect();
+
+    for (index, part) in parts.iter().enumerate() {
+        let same_identity = part.model == first.model
+            && part.taxonomy == first.taxonomy
+            && part.flavor == first.flavor
+            && part.setting == first.setting;
+        if !same_identity {
+            return Err(MergeError::IdentityMismatch { index });
+        }
+        if part.by_level.len() != by_level.len()
+            || part
+                .by_level
+                .iter()
+                .zip(&by_level)
+                .any(|(a, b)| a.child_level != b.child_level)
+        {
+            return Err(MergeError::LevelMismatch { index });
+        }
+        for (merged, partial) in by_level.iter_mut().zip(&part.by_level) {
+            merged.metrics += partial.metrics;
+        }
+    }
+
+    let mut overall = Metrics::default();
+    for level in &by_level {
+        overall += level.metrics;
+    }
+    Ok(EvalReport {
+        model: first.model.clone(),
+        taxonomy: first.taxonomy,
+        flavor: first.flavor,
+        setting: first.setting,
+        overall,
+        by_level,
+    })
+}
+
+/// Merge the output of `taxoglimpse_core::shard::run_sharded` — the
+/// runs arrive in shard-index order and merge in that order.
+pub fn merge_sharded(runs: &[ShardRun]) -> Result<EvalReport, MergeError> {
+    let reports: Vec<EvalReport> = runs.iter().map(|r| r.report.clone()).collect();
+    merge_reports(&reports)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxoglimpse_core::dataset::QuestionDataset;
+    use taxoglimpse_core::domain::TaxonomyKind;
+    use taxoglimpse_core::prompts::PromptSetting;
+
+    fn part(correct: usize, wrong: usize) -> EvalReport {
+        let metrics = Metrics { correct, missed: 0, wrong, failed: 0 };
+        EvalReport {
+            model: "GPT-4".into(),
+            taxonomy: TaxonomyKind::Ncbi,
+            flavor: QuestionDataset::Hard,
+            setting: PromptSetting::ZeroShot,
+            overall: metrics,
+            by_level: vec![
+                LevelMetrics { child_level: 1, metrics },
+                LevelMetrics { child_level: 2, metrics: Metrics::default() },
+            ],
+        }
+    }
+
+    #[test]
+    fn merging_sums_levels_in_part_order() {
+        let merged = merge_reports(&[part(3, 1), part(2, 2), part(0, 0)])
+            .expect("identical parts merge");
+        assert_eq!(merged.overall, Metrics { correct: 5, missed: 0, wrong: 3, failed: 0 });
+        assert_eq!(merged.by_level.len(), 2);
+        assert_eq!(merged.by_level[0].metrics.correct, 5);
+        assert_eq!(merged.by_level[1].metrics, Metrics::default());
+        assert_eq!(merged.model, "GPT-4");
+        assert_eq!(merged.taxonomy, TaxonomyKind::Ncbi);
+    }
+
+    #[test]
+    fn single_part_round_trips() {
+        let p = part(4, 2);
+        let merged = merge_reports(std::slice::from_ref(&p)).expect("one part merges");
+        assert_eq!(merged.overall, p.overall);
+        assert_eq!(merged.by_level, p.by_level);
+    }
+
+    #[test]
+    fn empty_and_mismatched_parts_are_rejected() {
+        assert!(matches!(merge_reports(&[]), Err(MergeError::Empty)));
+
+        let mut other_model = part(1, 0);
+        other_model.model = "GPT-3.5".into();
+        assert!(matches!(
+            merge_reports(&[part(1, 0), other_model]),
+            Err(MergeError::IdentityMismatch { index: 1 })
+        ));
+
+        let mut other_levels = part(1, 0);
+        other_levels.by_level.pop();
+        assert!(matches!(
+            merge_reports(&[part(1, 0), other_levels]),
+            Err(MergeError::LevelMismatch { index: 1 })
+        ));
+        assert!(MergeError::Empty.to_string().contains("no partial reports"));
+    }
+}

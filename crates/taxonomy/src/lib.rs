@@ -45,6 +45,7 @@ pub mod index;
 pub mod io;
 pub mod merge;
 pub mod node;
+pub mod partition;
 pub mod reason;
 pub mod snapshot;
 pub mod stats;
@@ -56,6 +57,7 @@ pub use builder::{BuildError, TaxonomyBuilder};
 pub use index::NameIndex;
 pub use merge::merge;
 pub use node::NodeId;
+pub use partition::SubtreePartition;
 pub use snapshot::SnapshotStore;
 pub use stats::TaxonomyStats;
 pub use validate::{validate, ValidationError};

@@ -121,4 +121,25 @@ cargo run --release --offline -q -p taxoglimpse-bench --bin bench_resilience -- 
     --check "$SMOKE_OUT"
 rm -f "$SMOKE_OUT"
 
+# 7. Sharded scale-out bench plumbing, same contract as stages 4–6:
+#    the committed BENCH_shard.json must pass shape validation —
+#    including its headline invariant, reports/merged digests identical
+#    across shard counts {1,2,8} within every fault rate, and
+#    availability exactly 1 at fault rate 0 — and a quick-mode smoke
+#    (tiny scales, snapshot cache in a temp dir) must produce a file
+#    that passes the same validation. The smoke run re-proves the
+#    digest invariant in-process at both sharding levels because
+#    bench_shard aborts on any cross-shard-count divergence.
+echo "==> shard bench smoke (TAXOGLIMPSE_BENCH_QUICK)"
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_shard -- \
+    --check BENCH_shard.json
+SMOKE_OUT="$(mktemp)"
+SMOKE_CACHE="$(mktemp -d)"
+TAXOGLIMPSE_BENCH_QUICK=1 TAXOGLIMPSE_CACHE_DIR="$SMOKE_CACHE" \
+    cargo run --release --offline -q \
+    -p taxoglimpse-bench --bin bench_shard -- --label "verify smoke" --out "$SMOKE_OUT"
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_shard -- \
+    --check "$SMOKE_OUT"
+rm -rf "$SMOKE_OUT" "$SMOKE_CACHE"
+
 echo "==> verify OK: hermetic tier-1 passed"

@@ -52,7 +52,9 @@ pub mod prelude {
         prompts::PromptSetting,
         question::{Question, QuestionKind},
         resilience::{BackoffPolicy, BreakerPolicy, Resilient, ResiliencePolicy},
+        shard::{run_grid_sharded, run_sharded, ShardRouter, ShardRun, ShardedDataset},
     };
+    pub use taxoglimpse_report::merge::{merge_reports, merge_sharded, MergeError};
     pub use taxoglimpse_llm::{
         faults::{FaultInjector, FaultPlan},
         profile::ModelId,
@@ -60,5 +62,5 @@ pub mod prelude {
         zoo::ModelZoo,
     };
     pub use taxoglimpse_synth::{generate, GenOptions};
-    pub use taxoglimpse_taxonomy::{NodeId, Taxonomy, TaxonomyBuilder};
+    pub use taxoglimpse_taxonomy::{NodeId, SubtreePartition, Taxonomy, TaxonomyBuilder};
 }
