@@ -106,6 +106,7 @@ impl<'t> CaseStudy<'t> {
         candidates.truncate(n);
 
         let instgen = InstanceGenerator::new(self.kind, self.config.seed)
+            // lint:allow(P001, documented precondition of run - callers select an instance-bearing kind)
             .unwrap_or_else(|| panic!("case study requires an instance-bearing taxonomy, got {}", self.kind));
 
         let (mut tp, mut fp, mut fn_) = (0usize, 0usize, 0usize);

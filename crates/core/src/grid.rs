@@ -299,6 +299,7 @@ impl GridRunner {
             })
             .collect();
         if !failures.is_empty() {
+            // lint:allow(P001, deliberate re-panic - worker panics are joined and surfaced after all cells finish)
             panic!("{} grid cell(s) panicked: {}", failures.len(), failures.join("; "));
         }
 

@@ -140,6 +140,7 @@ impl<'t> InstanceTypingBuilder<'t> {
                         let pool = t.nodes_at_level(target_level);
                         pool.choose(&mut rng).copied().filter(|&c| c != target)
                     }
+                    // lint:allow(P001, Mcq is rejected by the guard at the top of build before this match runs)
                     QuestionDataset::Mcq => unreachable!("rejected above"),
                 };
                 if let Some(neg) = negative {

@@ -450,6 +450,7 @@ impl<M: LanguageModel> LanguageModel for Resilient<M> {
     }
 
     fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        // lint:allow(L002, the breaker state machine is single-session by design - serializing calls through the lock is the feature)
         self.session.lock().expect("resilience session lock not poisoned").call(&self.base, query)
     }
 
@@ -459,6 +460,7 @@ impl<M: LanguageModel> LanguageModel for Resilient<M> {
         // `ResilienceSession::call_prefetched` for why this is
         // equivalent to the one-by-one path.
         let firsts = self.base.answer_batch(queries);
+        // lint:allow(L002, only retry traffic runs under the lock - attempt-0 answers were prefetched above it)
         let mut session = self.session.lock().expect("resilience session lock not poisoned");
         firsts
             .into_iter()

@@ -317,6 +317,7 @@ fn run_one_shard(
             }));
             let metrics = match outcome {
                 Ok(metrics) => metrics,
+                // lint:allow(P001, deliberate re-panic - a shard worker panic is re-raised with its shard and slot context)
                 Err(payload) => panic!(
                     "shard {shard} slot {slot} (model `{}`, taxonomy {:?}, level {}): {}",
                     model.name(),

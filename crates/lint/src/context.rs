@@ -169,7 +169,7 @@ fn matches_cfg_test(lexed: &Lexed, i: usize) -> bool {
 
 /// Given `open` pointing at `{`/`[`/`(`, return the index just past the
 /// matching closer (or the end of input if unbalanced).
-fn skip_balanced(toks: &[crate::lexer::Token], open: usize) -> usize {
+pub(crate) fn skip_balanced(toks: &[crate::lexer::Token], open: usize) -> usize {
     let mut depth = 0i32;
     let mut j = open;
     while j < toks.len() {

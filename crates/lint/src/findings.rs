@@ -1,5 +1,10 @@
 //! Finding and report types, their JSON encoding, the human-readable
 //! table, and schema validation for `--validate`.
+//!
+//! Schema v2 (PR 8) adds two fields to every finding — `pass`, naming
+//! the analysis stage that produced it, and `chain`, the propagation
+//! path for interprocedural findings (empty for token-local rules).
+//! All v1 fields are unchanged.
 
 use std::fmt;
 
@@ -7,11 +12,16 @@ use taxoglimpse_json::{Json, JsonError};
 
 /// Report schema version written into the JSON document; bump on any
 /// incompatible change to the finding fields.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Analysis stages findings can come from; `pass` is validated against
+/// this list.
+pub const PASSES: &[&str] = &["token", "meta", "reach", "locks", "selfcheck"];
 
 /// Every rule the engine knows, as `(id, summary)` pairs. `U001` is
-/// the meta-rule for unused or malformed `lint:allow` annotations and
-/// cannot itself be suppressed.
+/// the meta-rule for unused or malformed `lint:allow` annotations,
+/// `S001` the self-check for stale rule configuration; neither can be
+/// suppressed.
 pub const RULES: &[(&str, &str)] = &[
     ("D001", "no HashMap/HashSet in deterministic (serialized/digested) paths; use BTreeMap/BTreeSet or sort at emission"),
     ("D002", "no SystemTime::now/Instant::now/RandomState entropy outside crates/bench and #[cfg(test)]"),
@@ -19,6 +29,93 @@ pub const RULES: &[(&str, &str)] = &[
     ("C001", "atomic Ordering / unsafe / static mut requires an adjacent justification comment"),
     ("M001", "no bare `_` wildcard arm over project enums in scoring/parse matches"),
     ("U001", "lint:allow annotation is unused or malformed"),
+    ("D101", "deterministic code must not transitively reach a D001/D002 entropy source through any call chain"),
+    ("L001", "no cycle in the workspace lock-order graph (AB/BA acquisition patterns deadlock)"),
+    ("L002", "no model call (answer/answer_batch) or chunk evaluation while a Mutex guard is held"),
+    ("P001", "no panic!/unreachable!/unchecked-op reachable from public library entry points"),
+    ("S001", "rule path lists (M001_PATHS, D101 roots) must match the workspace on disk"),
+];
+
+/// Long-form documentation for `--explain <rule>`: `(id, doc,
+/// rationale, failing example, passing example)`.
+pub const EXPLAIN: &[(&str, &str, &str, &str, &str)] = &[
+    (
+        "D001",
+        "Unordered hash containers (HashMap/HashSet) are forbidden in non-test code.",
+        "Reports, datasets, and bench artifacts are digested byte-for-byte; hash-iteration order is seeded per process and would silently break replay. Use BTreeMap/BTreeSet, or suppress with a reason proving the container never reaches serialized output.",
+        "use std::collections::HashMap;\nfn tally() -> HashMap<String, u32> { HashMap::new() }",
+        "use std::collections::BTreeMap;\nfn tally() -> BTreeMap<String, u32> { BTreeMap::new() }",
+    ),
+    (
+        "D002",
+        "Wall-clock and entropy sources (SystemTime::now, Instant::now, RandomState) are forbidden outside crates/bench.",
+        "Every simulated latency, backoff, and fault draw is derived from seeds so reruns are bit-identical; one wall-clock read anywhere in the pipeline breaks that. Benches measure real time, so crates/bench is exempt.",
+        "fn stamp() -> std::time::Instant { std::time::Instant::now() }",
+        "fn stamp(clock: &VirtualClock) -> f64 { clock.now_s() }",
+    ),
+    (
+        "D003",
+        ".unwrap() and context-free .expect(…) are forbidden in library code.",
+        "A panic in library code takes down every worker sharing the process; errors must carry enough context to debug a failed replay. expect() with a message of >= 10 chars stating the violated invariant passes; bins and tests are exempt.",
+        "fn head(v: &[u32]) -> u32 { *v.first().unwrap() }",
+        "fn head(v: &[u32]) -> Option<u32> { v.first().copied() }",
+    ),
+    (
+        "C001",
+        "Atomic memory orderings, unsafe blocks, and static mut need an adjacent justification comment.",
+        "These constructs encode concurrency contracts the compiler cannot check; the justification comment (same line or the line above) is the reviewable record of why the contract holds.",
+        "counter.fetch_add(1, Ordering::Relaxed);",
+        "// Relaxed: monotonic counter, no ordering needed.\ncounter.fetch_add(1, Ordering::Relaxed);",
+    ),
+    (
+        "M001",
+        "Bare `_` arms over project enums are forbidden in scoring/parse matches (M001_PATHS files).",
+        "When a new Outcome or answer variant is added, every scoring match must be forced to decide how to count it; a wildcard arm silently scores new variants as whatever the default was.",
+        "match outcome { Outcome::Correct => 1, _ => 0 }",
+        "match outcome { Outcome::Correct => 1, Outcome::Missed | Outcome::Wrong => 0 }",
+    ),
+    (
+        "U001",
+        "Every lint:allow annotation must parse and must suppress at least one finding.",
+        "Dead suppressions accumulate and hide real regressions: a refactor that moves the offending line leaves the allow behind, silently disarmed. Malformed annotations are flagged so a typo cannot disable a suppression.",
+        "// lint:allow(D003, nothing here unwraps)\nfn f() -> u32 { 1 }",
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(D003, demo fixture)",
+    ),
+    (
+        "D101",
+        "A function reachable from deterministic code must not transitively reach a D001/D002 entropy source.",
+        "Token-local rules stop at the call site: a one-line wrapper in an exempt location (crates/bench) launders Instant::now past D002. D101 walks the workspace call graph from the deterministic root set (core eval/parse/metrics/grid/shard/cache/resilience, synth, taxonomy, report) and reports the full propagation chain. Sites carrying a lint:allow(D001/D002) are trusted — their reason documents why the source is safe.",
+        "// crates/core/src/eval.rs\nfn score() -> f64 { stamp() }\n// crates/bench/src/util.rs (D002-exempt)\npub fn stamp() -> f64 { elapsed_s(Instant::now()) }",
+        "// crates/core/src/eval.rs\nfn score(clock: &VirtualClock) -> f64 { clock.now_s() }",
+    ),
+    (
+        "L001",
+        "The workspace lock-order graph must be acyclic.",
+        "If one code path acquires lock A then B while another acquires B then A, two threads can deadlock. Held-lock sets are propagated along call edges, so the AB and BA acquisitions may live in different functions or crates and still form the cycle.",
+        "fn ab(&self) { let _a = self.a.lock().expect(\"a\"); let _b = self.b.lock().expect(\"b\"); }\nfn ba(&self) { let _b = self.b.lock().expect(\"b\"); let _a = self.a.lock().expect(\"a\"); }",
+        "fn ab(&self) { let _a = self.a.lock().expect(\"a\"); let _b = self.b.lock().expect(\"b\"); }\nfn also_ab(&self) { let _a = self.a.lock().expect(\"a\"); let _b = self.b.lock().expect(\"b\"); }",
+    ),
+    (
+        "L002",
+        "No model call (answer/answer_batch, or anything that transitively makes one) while a Mutex guard is held.",
+        "A model call is the slowest operation in the system; holding a lock across it serializes every worker behind one in-flight request and invites lock-order inversions with the model's own internal locks. Deliberate single-lock wrappers (e.g. a session serializer) suppress with the reason documenting why the hold is the point.",
+        "let g = self.stats.lock().expect(\"stats lock\");\nlet r = self.inner.answer(query);",
+        "let r = self.inner.answer(query);\nlet mut g = self.stats.lock().expect(\"stats lock\");\ng.record(&r);",
+    ),
+    (
+        "P001",
+        "panic!/unreachable!/todo!/unimplemented!/unchecked ops must not be reachable from public library entry points.",
+        "D003 stops unwrap() at the token; P001 extends it across calls: a public entry whose callee three frames down can panic is a public entry that panics. Deliberate re-panics (worker panic propagation) and impossible-by-construction arms suppress with the reason. Library unwrap()/expect() stay D003's business.",
+        "pub fn entry() { helper() }\nfn helper() { panic!(\"boom\") }",
+        "pub fn entry() -> Result<(), Error> { helper() }\nfn helper() -> Result<(), Error> { Err(Error::Boom) }",
+    ),
+    (
+        "S001",
+        "Hand-maintained rule path lists must match the workspace.",
+        "M001_PATHS and the D101 root set are lists of files; when a file is renamed or a new core module starts matching over Outcome/Metrics, a stale list silently skips it. S001 fails --check on the drift: listed paths must exist, and every core file matching over Outcome/Metrics must be listed.",
+        "// M001_PATHS lists crates/core/src/scores.rs, but the file was renamed to eval.rs",
+        "// M001_PATHS lists exactly the on-disk scoring files, including every new one",
+    ),
 ];
 
 /// One lint finding.
@@ -34,6 +131,11 @@ pub struct Finding {
     pub message: String,
     /// Short source excerpt around the offending token.
     pub snippet: String,
+    /// Analysis stage that produced the finding (see [`PASSES`]).
+    pub pass: &'static str,
+    /// Propagation chain for interprocedural findings, outermost
+    /// context first; empty for token-local rules.
+    pub chain: Vec<String>,
 }
 
 /// The result of linting a set of sources.
@@ -51,7 +153,8 @@ impl LintReport {
     /// Canonical ordering so output bytes are stable run-to-run.
     pub fn sort(&mut self) {
         self.findings.sort_by(|a, b| {
-            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+            (a.file.as_str(), a.line, a.rule, &a.chain)
+                .cmp(&(b.file.as_str(), b.line, b.rule, &b.chain))
         });
     }
 
@@ -85,8 +188,18 @@ impl LintReport {
                                 ("file", Json::Str(f.file.clone())),
                                 ("line", Json::U64(u64::from(f.line))),
                                 ("rule", Json::Str(f.rule.to_owned())),
+                                ("pass", Json::Str(f.pass.to_owned())),
                                 ("message", Json::Str(f.message.clone())),
                                 ("snippet", Json::Str(f.snippet.clone())),
+                                (
+                                    "chain",
+                                    Json::Arr(
+                                        f.chain
+                                            .iter()
+                                            .map(|link| Json::Str(link.clone()))
+                                            .collect(),
+                                    ),
+                                ),
                             ])
                         })
                         .collect(),
@@ -117,6 +230,13 @@ impl LintReport {
         for f in &self.findings {
             let loc = format!("{}:{}", f.file, f.line);
             out.push_str(&format!("{loc:<loc_width$}  {:<4}  {}\n", f.rule, f.message));
+            if !f.chain.is_empty() {
+                out.push_str(&format!(
+                    "{:<loc_width$}        chain: {}\n",
+                    "",
+                    f.chain.join(" → ")
+                ));
+            }
             if !f.snippet.is_empty() {
                 out.push_str(&format!("{:<loc_width$}        | {}\n", "", f.snippet));
             }
@@ -138,6 +258,28 @@ fn digits(mut n: u32) -> usize {
         d += 1;
     }
     d
+}
+
+/// Render the `--explain` text for `rule`, or `None` if unknown.
+pub fn explain_rule(rule: &str) -> Option<String> {
+    let (id, doc, rationale, fail, pass) =
+        EXPLAIN.iter().find(|(id, ..)| *id == rule)?;
+    let summary = RULES
+        .iter()
+        .find(|(rid, _)| rid == id)
+        .map(|(_, s)| *s)
+        .unwrap_or_default();
+    let mut out = String::new();
+    out.push_str(&format!("{id} — {summary}\n\n"));
+    out.push_str(&format!("{doc}\n\nWhy: {rationale}\n\nFails:\n"));
+    for line in fail.lines() {
+        out.push_str(&format!("    {line}\n"));
+    }
+    out.push_str("\nPasses:\n");
+    for line in pass.lines() {
+        out.push_str(&format!("    {line}\n"));
+    }
+    Some(out)
 }
 
 /// A schema violation reported by [`validate_report`].
@@ -190,7 +332,7 @@ pub fn validate_report(doc: &Json) -> Result<usize, SchemaError> {
         .ok_or_else(|| SchemaError("findings must be an array".into()))?;
     let known: Vec<&str> = RULES.iter().map(|(id, _)| *id).collect();
     for (i, f) in findings.iter().enumerate() {
-        for key in ["file", "rule", "message", "snippet"] {
+        for key in ["file", "rule", "message", "snippet", "pass"] {
             if f.get(key).and_then(Json::as_str).is_none() {
                 return Err(SchemaError(format!("findings[{i}].{key} must be a string")));
             }
@@ -202,6 +344,17 @@ pub fn validate_report(doc: &Json) -> Result<usize, SchemaError> {
         if !known.contains(&rule) {
             return Err(SchemaError(format!("findings[{i}].rule `{rule}` is not a known rule")));
         }
+        let pass = f.get("pass").and_then(Json::as_str).unwrap_or_default();
+        if !PASSES.contains(&pass) {
+            return Err(SchemaError(format!("findings[{i}].pass `{pass}` is not a known pass")));
+        }
+        let chain = f
+            .field("chain")?
+            .as_arr()
+            .ok_or_else(|| SchemaError(format!("findings[{i}].chain must be an array")))?;
+        if chain.iter().any(|link| link.as_str().is_none()) {
+            return Err(SchemaError(format!("findings[{i}].chain must contain only strings")));
+        }
     }
     Ok(findings.len())
 }
@@ -212,13 +365,26 @@ mod tests {
 
     fn sample_report() -> LintReport {
         LintReport {
-            findings: vec![Finding {
-                file: "crates/x/src/lib.rs".into(),
-                line: 7,
-                rule: "D001",
-                message: "HashMap iterated into serialized output".into(),
-                snippet: "for (k, v) in map.iter() {".into(),
-            }],
+            findings: vec![
+                Finding {
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 7,
+                    rule: "D001",
+                    message: "HashMap iterated into serialized output".into(),
+                    snippet: "for (k, v) in map.iter() {".into(),
+                    pass: "token",
+                    chain: Vec::new(),
+                },
+                Finding {
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 11,
+                    rule: "D101",
+                    message: "entropy source reachable from deterministic code".into(),
+                    snippet: "Instant::now()".into(),
+                    pass: "reach",
+                    chain: vec!["eval::score".into(), "util::stamp".into(), "Instant::now".into()],
+                },
+            ],
             files_scanned: 3,
             allows_used: 1,
         }
@@ -229,7 +395,7 @@ mod tests {
         let doc = sample_report().to_json();
         let text = doc.render_pretty();
         let parsed = taxoglimpse_json::from_str_value(&text).expect("report JSON reparses");
-        assert_eq!(validate_report(&parsed).expect("schema-valid"), 1);
+        assert_eq!(validate_report(&parsed).expect("schema-valid"), 2);
     }
 
     #[test]
@@ -250,14 +416,30 @@ mod tests {
         let mut bad_rule = sample_report();
         bad_rule.findings[0].rule = "Z999";
         assert!(validate_report(&bad_rule.to_json()).is_err());
+
+        let mut bad_pass = sample_report();
+        bad_pass.findings[0].pass = "vibes";
+        assert!(validate_report(&bad_pass.to_json()).is_err());
     }
 
     #[test]
-    fn table_mentions_every_finding() {
+    fn table_mentions_every_finding_and_chain() {
         let table = sample_report().render_table();
         assert!(table.contains("crates/x/src/lib.rs:7"));
         assert!(table.contains("D001"));
-        assert!(table.contains("1 finding(s)"));
+        assert!(table.contains("chain: eval::score → util::stamp → Instant::now"));
+        assert!(table.contains("2 finding(s)"));
+    }
+
+    #[test]
+    fn explain_covers_every_rule() {
+        for (id, _) in RULES {
+            let text = explain_rule(id).expect("every rule has explain text");
+            assert!(text.contains(id), "{id}");
+            assert!(text.contains("Fails:"), "{id}");
+            assert!(text.contains("Passes:"), "{id}");
+        }
+        assert!(explain_rule("Z999").is_none());
     }
 
     #[test]
@@ -268,6 +450,8 @@ mod tests {
             rule,
             message: String::new(),
             snippet: String::new(),
+            pass: "token",
+            chain: Vec::new(),
         };
         let mut report = LintReport {
             findings: vec![mk("b.rs", 1, "D001"), mk("a.rs", 9, "M001"), mk("a.rs", 9, "D003")],

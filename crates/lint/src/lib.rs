@@ -13,6 +13,17 @@
 //! | C001 | atomic `Ordering`, `unsafe`, `static mut` need adjacent justification comments |
 //! | M001 | no bare `_` arm over project enums in scoring/parse matches |
 //! | U001 | `lint:allow` annotations must parse and must fire |
+//! | D101 | deterministic roots must not *transitively* reach a D001/D002 source |
+//! | L001 | the workspace lock-order graph must be acyclic |
+//! | L002 | no model call (`answer`/`answer_batch`) while a lock is held |
+//! | P001 | no panic-family site reachable from a public library entry point |
+//! | S001 | the linter's own path registries must track the workspace |
+//!
+//! The first six are token-local. The interprocedural rules run over a
+//! workspace call graph built by [`parser`] (item-level, no expression
+//! AST) and [`graph`] (name/type-based call resolution); see [`passes`]
+//! for the propagation algorithms and DESIGN.md §11 for the soundness
+//! trade-offs.
 //!
 //! Findings can be suppressed inline with `// lint:allow(<rule>, <reason>)`
 //! as the comment's leading content — on the offending line (trailing)
@@ -30,11 +41,18 @@ use std::path::{Path, PathBuf};
 
 pub mod context;
 pub mod findings;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
+pub mod passes;
 pub mod rules;
 
 use context::{AllowLedger, SourceFile};
-pub use findings::{validate_report, Finding, LintReport, SchemaError, RULES, SCHEMA_VERSION};
+pub use findings::{
+    explain_rule, validate_report, Finding, LintReport, SchemaError, PASSES, RULES,
+    SCHEMA_VERSION,
+};
+pub use graph::CallGraph;
 
 /// An I/O failure while walking or reading the workspace.
 #[derive(Debug)]
@@ -68,11 +86,21 @@ pub fn lint_sources(sources: &[(String, String)]) -> LintReport {
         ledger.register(f);
     }
 
-    // Pass 2: per-file rules, then surface allows that never fired.
+    // Pass 2: per-file token rules.
     let mut findings = Vec::new();
     for f in &files {
         rules::run_rules(f, &enums, &mut ledger, &mut findings);
     }
+
+    // Pass 3: interprocedural — parse items, build the call graph, run
+    // the reachability and lock passes over it.
+    let parsed: Vec<parser::ParsedFile> = files.iter().map(parser::parse_items).collect();
+    let graph = CallGraph::build(&files, &parsed);
+    passes::run_passes(&files, &graph, &mut ledger, &mut findings);
+
+    // Pass 4: the linter checks itself, then surfaces allows that never
+    // fired.
+    rules::self_check(&files, &mut findings);
     rules::unused_allow_findings(&ledger, &mut findings);
 
     let mut report = LintReport {
@@ -88,6 +116,25 @@ pub fn lint_sources(sources: &[(String, String)]) -> LintReport {
 /// crate's `src/` plus each `crates/*/src/`. Test trees (`tests/`,
 /// `benches/`, `examples/`) are out of scope by construction.
 pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
+    Ok(lint_sources(&collect_workspace_sources(root)?))
+}
+
+/// Serialize the workspace call graph (`--graph`): the same file set
+/// `lint_workspace` scans, parsed and resolved, rendered as graph
+/// schema v1 JSON.
+pub fn workspace_graph_json(root: &Path) -> Result<String, LintError> {
+    let sources = collect_workspace_sources(root)?;
+    let files: Vec<SourceFile> =
+        sources.iter().map(|(path, src)| SourceFile::new(path, src)).collect();
+    let parsed: Vec<parser::ParsedFile> = files.iter().map(parser::parse_items).collect();
+    let graph = CallGraph::build(&files, &parsed);
+    Ok(graph.to_json(&files).render_pretty() + "\n")
+}
+
+/// Read every in-scope `.rs` file under `root` as `(rel_path, text)`.
+pub fn collect_workspace_sources(
+    root: &Path,
+) -> Result<Vec<(String, String)>, LintError> {
     let mut rel_paths = Vec::new();
     collect_rs_files(root, &root.join("src"), &mut rel_paths)?;
     let crates_dir = root.join("crates");
@@ -110,7 +157,7 @@ pub fn lint_workspace(root: &Path) -> Result<LintReport, LintError> {
             .map_err(|source| LintError { path: abs.clone(), source })?;
         sources.push((rel.replace('\\', "/"), text));
     }
-    Ok(lint_sources(&sources))
+    Ok(sources)
 }
 
 /// Recursively gather `.rs` files under `dir` as root-relative paths.

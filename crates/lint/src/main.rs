@@ -1,21 +1,25 @@
 //! CLI for the in-tree linter.
 //!
 //! ```text
-//! taxoglimpse-lint --workspace [--root DIR] [--check] [--json FILE]
+//! taxoglimpse-lint --workspace [--root DIR] [--check] [--json FILE] [--graph FILE]
 //! taxoglimpse-lint --validate FILE
+//! taxoglimpse-lint --explain RULE
 //! taxoglimpse-lint --list-rules
 //! ```
 //!
 //! Exit codes are stable so scripts can gate on them:
 //! `0` clean (or valid), `1` findings with `--check` (or invalid with
-//! `--validate`), `2` usage or I/O error.
+//! `--validate`), `2` usage or I/O error (including an unknown rule id
+//! passed to `--explain`).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use taxoglimpse_lint::{lint_workspace, validate_report, RULES};
+use taxoglimpse_lint::{
+    explain_rule, lint_workspace, validate_report, workspace_graph_json, RULES,
+};
 
-const USAGE: &str = "usage:\n  taxoglimpse-lint --workspace [--root DIR] [--check] [--json FILE]\n  taxoglimpse-lint --validate FILE\n  taxoglimpse-lint --list-rules\n";
+const USAGE: &str = "usage:\n  taxoglimpse-lint --workspace [--root DIR] [--check] [--json FILE] [--graph FILE]\n  taxoglimpse-lint --validate FILE\n  taxoglimpse-lint --explain RULE\n  taxoglimpse-lint --list-rules\n";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -35,7 +39,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut list_rules = false;
     let mut root = PathBuf::from(".");
     let mut json_out: Option<PathBuf> = None;
+    let mut graph_out: Option<PathBuf> = None;
     let mut validate: Option<PathBuf> = None;
+    let mut explain: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -53,10 +59,19 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     it.next().ok_or_else(|| "--json needs a file path".to_owned())?,
                 ));
             }
+            "--graph" => {
+                graph_out = Some(PathBuf::from(
+                    it.next().ok_or_else(|| "--graph needs a file path".to_owned())?,
+                ));
+            }
             "--validate" => {
                 validate = Some(PathBuf::from(
                     it.next().ok_or_else(|| "--validate needs a file path".to_owned())?,
                 ));
+            }
+            "--explain" => {
+                explain =
+                    Some(it.next().ok_or_else(|| "--explain needs a rule id".to_owned())?.clone());
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -66,6 +81,13 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         for (id, summary) in RULES {
             println!("{id}  {summary}");
         }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    if let Some(rule) = explain {
+        let text = explain_rule(&rule)
+            .ok_or_else(|| format!("unknown rule `{rule}` (see --list-rules)"))?;
+        print!("{text}");
         return Ok(ExitCode::SUCCESS);
     }
 
@@ -93,6 +115,11 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
 
     if !workspace {
         return Err("nothing to do: pass --workspace, --validate, or --list-rules".to_owned());
+    }
+
+    if let Some(path) = &graph_out {
+        let doc = workspace_graph_json(&root).map_err(|e| e.to_string())?;
+        std::fs::write(path, doc).map_err(|e| format!("{}: {e}", path.display()))?;
     }
 
     let report = lint_workspace(&root).map_err(|e| e.to_string())?;

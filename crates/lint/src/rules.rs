@@ -62,6 +62,8 @@ pub fn run_rules(
             rule,
             message,
             snippet: file.snippet(line),
+            pass: "token",
+            chain: Vec::new(),
         });
     };
 
@@ -198,7 +200,88 @@ pub fn run_rules(
             rule: "U001",
             message: format!("malformed lint:allow annotation: {detail}"),
             snippet: file.snippet(*line),
+            pass: "meta",
+            chain: Vec::new(),
         });
+    }
+}
+
+/// Enum names whose appearance in a match *pattern* marks a file as
+/// scoring/parse logic that must be listed in [`M001_PATHS`]. `Metrics`
+/// is currently a struct, so the entry is future-proofing; `Outcome` is
+/// the live scoring enum.
+const S001_SCORING_ENUMS: &[&str] = &["Outcome", "Metrics"];
+
+/// S001 — the linter's own registries must track the workspace. Armed
+/// only on full-workspace scans (marker: the core crate root is in the
+/// scanned set), so fixture and unit scans are unaffected. Two checks:
+/// every path in [`M001_PATHS`] and the D101 root set exists on disk,
+/// and every core file that matches over a scoring enum is listed in
+/// [`M001_PATHS`]. Not suppressible: a stale registry silently turns
+/// other rules off, which is exactly the drift this rule exists to
+/// catch.
+pub fn self_check(files: &[SourceFile], findings: &mut Vec<Finding>) {
+    if !files.iter().any(|f| f.rel_path == "crates/core/src/lib.rs") {
+        return;
+    }
+    let scanned: BTreeSet<&str> = files.iter().map(|f| f.rel_path.as_str()).collect();
+
+    let listed = M001_PATHS
+        .iter()
+        .map(|p| ("M001_PATHS", *p))
+        .chain(crate::passes::D101_ROOT_FILES.iter().map(|p| ("the D101 root set", *p)));
+    for (registry, path) in listed {
+        if !scanned.contains(path) {
+            findings.push(Finding {
+                file: path.to_owned(),
+                line: 1,
+                rule: "S001",
+                message: format!(
+                    "stale lint registry: `{path}` is listed in {registry} but no longer \
+                     exists in the workspace"
+                ),
+                snippet: String::new(),
+                pass: "selfcheck",
+                chain: Vec::new(),
+            });
+        }
+    }
+
+    for file in files {
+        if !file.rel_path.starts_with("crates/core/src/")
+            || M001_PATHS.contains(&file.rel_path.as_str())
+        {
+            continue;
+        }
+        let toks = &file.lexed.tokens;
+        'file: for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokenKind::Ident || t.text != "match" || file.in_test(t.line) {
+                continue;
+            }
+            for arm in match_arms(toks, i) {
+                for w in arm.windows(2) {
+                    if w[0].kind == TokenKind::Ident
+                        && w[1].text == "::"
+                        && S001_SCORING_ENUMS.contains(&w[0].text.as_str())
+                    {
+                        findings.push(Finding {
+                            file: file.rel_path.clone(),
+                            line: t.line,
+                            rule: "S001",
+                            message: format!(
+                                "this file matches over scoring enum `{}` but is not listed \
+                                 in M001_PATHS — add it so M001 guards its arms",
+                                w[0].text
+                            ),
+                            snippet: file.snippet(t.line),
+                            pass: "selfcheck",
+                            chain: Vec::new(),
+                        });
+                        break 'file; // one finding per file is enough
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -213,6 +296,8 @@ pub fn unused_allow_findings(ledger: &AllowLedger, findings: &mut Vec<Finding>) 
                 "unused suppression: lint:allow({rule}) matched no finding — remove it"
             ),
             snippet: String::new(),
+            pass: "meta",
+            chain: Vec::new(),
         });
     }
 }
@@ -264,6 +349,29 @@ fn wildcard_arms_over_enums(
     match_idx: usize,
     enums: &BTreeSet<String>,
 ) -> Vec<(u32, String)> {
+    let arms = match_arms(toks, match_idx);
+
+    // Which enum (if any) do the sibling arms mention by path?
+    let mut enum_name = None;
+    for arm in &arms {
+        for w in arm.windows(2) {
+            if w[0].kind == TokenKind::Ident && w[1].text == "::" && enums.contains(&w[0].text)
+            {
+                enum_name = Some(w[0].text.clone());
+            }
+        }
+    }
+    let Some(enum_name) = enum_name else { return Vec::new() };
+
+    arms.iter()
+        .filter(|arm| arm.len() == 1 && arm[0].text == "_")
+        .map(|arm| (arm[0].line, enum_name.clone()))
+        .collect()
+}
+
+/// Segment the arm *patterns* of the `match` expression whose keyword
+/// sits at `match_idx`. Arm bodies are not returned.
+fn match_arms(toks: &[Token], match_idx: usize) -> Vec<Vec<&Token>> {
     // Find the body-opening `{`: the first one at delimiter depth 0
     // after the scrutinee (parens/brackets inside the scrutinee nest).
     let mut j = match_idx + 1;
@@ -322,21 +430,7 @@ fn wildcard_arms_over_enums(
         }
         k += 1;
     }
-
-    // Which enum (if any) do the sibling arms mention by path?
-    let mut enum_name = None;
-    for arm in &arms {
-        for w in arm.windows(2) {
-            if w[0].kind == TokenKind::Ident && w[1].text == "::" && enums.contains(&w[0].text)
-            {
-                enum_name = Some(w[0].text.clone());
-            }
-        }
-    }
-    let Some(enum_name) = enum_name else { return Vec::new() };
-
-    arms.iter()
-        .filter(|arm| arm.len() == 1 && arm[0].text == "_")
-        .map(|arm| (arm[0].line, enum_name.clone()))
-        .collect()
+    // A non-empty leftover `pattern` means the body closed mid-pattern
+    // (malformed input); it is deliberately discarded.
+    arms
 }

@@ -100,3 +100,41 @@ fn usage_errors_exit_two() {
         assert_eq!(status.code(), Some(2), "args {args:?}");
     }
 }
+
+#[test]
+fn explain_prints_every_rule_and_rejects_unknown_ids() {
+    for (id, _) in taxoglimpse_lint::RULES {
+        let out = lint_bin().args(["--explain", id]).output().expect("lint binary runs");
+        assert_eq!(out.status.code(), Some(0), "--explain {id}");
+        let text = String::from_utf8(out.stdout).expect("explain output is UTF-8");
+        assert!(text.contains(id), "--explain {id} names the rule");
+        assert!(text.contains("Fails:"), "--explain {id} shows a failing example");
+        assert!(text.contains("Passes:"), "--explain {id} shows a passing example");
+    }
+
+    let status = lint_bin().args(["--explain", "Z999"]).status().expect("lint binary runs");
+    assert_eq!(status.code(), Some(2), "unknown rule id is a usage error");
+}
+
+#[test]
+fn graph_dump_is_valid_json_naming_scanned_functions() {
+    let tree = ScratchTree::new(
+        "cli_graph",
+        "pub fn outer() -> u32 { inner() }\nfn inner() -> u32 { 3 }\n",
+    );
+    let graph_path = tree.root.join("GRAPH.json");
+    let status = lint_bin()
+        .args(["--workspace", "--root"])
+        .arg(&tree.root)
+        .arg("--graph")
+        .arg(&graph_path)
+        .status()
+        .expect("lint binary runs");
+    assert_eq!(status.code(), Some(0));
+
+    let text = fs::read_to_string(&graph_path).expect("graph file written");
+    let doc = taxoglimpse_json::from_str_value(&text).expect("graph dump is valid JSON");
+    let rendered = doc.render_pretty();
+    assert!(rendered.contains("fixture::outer"), "graph names the public fn");
+    assert!(rendered.contains("fixture::inner"), "graph names the callee");
+}

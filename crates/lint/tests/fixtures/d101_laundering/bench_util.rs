@@ -1,0 +1,9 @@
+//! D101 laundering fixture, entropy side: `Instant::now` is legal here
+//! under the token rules (crates/bench is D002-exempt), but feeding it
+//! into deterministic scoring through a call chain is exactly what the
+//! interprocedural pass exists to catch.
+
+pub fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,12 @@
+//! D101 laundering fixture, deterministic side: a scoring root that
+//! looks clean to the token rules — the entropy hides behind a helper
+//! in a D002-exempt location (see `bench_util.rs`).
+
+pub fn score(values: &[u64]) -> u64 {
+    let base: u64 = values.iter().sum();
+    base.wrapping_add(stamp_offset())
+}
+
+fn stamp_offset() -> u64 {
+    crate::util::stamp()
+}

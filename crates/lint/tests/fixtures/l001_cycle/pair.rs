@@ -1,0 +1,22 @@
+//! L001 fixture: the classic AB/BA deadlock shape. `ab` orders the
+//! locks first→second, `ba` orders them second→first; the lock-order
+//! graph has a two-cycle.
+
+pub struct Pair {
+    first: Mutex<u32>,
+    second: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let a = self.first.lock().expect("first lock stays healthy");
+        let b = self.second.lock().expect("second lock stays healthy");
+        *a + *b
+    }
+
+    pub fn ba(&self) -> u32 {
+        let b = self.second.lock().expect("second lock stays healthy");
+        let a = self.first.lock().expect("first lock stays healthy");
+        *a + *b
+    }
+}

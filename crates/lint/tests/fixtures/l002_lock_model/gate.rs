@@ -1,0 +1,22 @@
+//! L002 fixture: a model call made while a lock is held. The guard is
+//! let-bound, so it lives to the end of the function — every caller of
+//! `ask` queues behind the slowest model turn.
+
+pub struct Backend;
+
+impl Backend {
+    pub fn answer(&self, query: &str) -> usize {
+        query.len()
+    }
+}
+
+pub struct Gate {
+    model: Mutex<Backend>,
+}
+
+impl Gate {
+    pub fn ask(&self, query: &str) -> usize {
+        let guard = self.model.lock().expect("model gate lock stays healthy");
+        guard.answer(query)
+    }
+}

@@ -1,0 +1,24 @@
+//! P001 fixture: a panic three private frames below the public entry
+//! point. Token rules cannot see this; the reachability pass walks
+//! `entry → middle → deep → panic!`.
+
+pub fn entry(values: &[u32]) -> u32 {
+    middle(values)
+}
+
+fn middle(values: &[u32]) -> u32 {
+    deep(values)
+}
+
+fn deep(values: &[u32]) -> u32 {
+    if values.is_empty() {
+        panic!("deep chain fixture requires at least one value");
+    }
+    values[0]
+}
+
+// A panic in dead private code is NOT reachable from any public entry
+// and must stay silent.
+fn orphaned() {
+    panic!("nobody calls this");
+}

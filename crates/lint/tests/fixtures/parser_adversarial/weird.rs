@@ -1,0 +1,69 @@
+//! Adversarial parser corpus: every shape here is legal Rust that a
+//! naive item scanner misreads. The linter must report NOTHING for
+//! this file — each construct is a false-positive trap, not a bug.
+
+// `fn`, `impl`, and `panic!` spelled inside macro definitions are
+// pattern fragments, not items or sinks reachable from anything.
+macro_rules! make_getter {
+    ($name:ident, $field:ident) => {
+        pub fn $name(&self) -> u32 {
+            self.$field
+        }
+    };
+}
+
+/// Doc comments mentioning `fn hidden()` and `Instant::now()` are prose.
+/// ```
+/// let t = std::time::Instant::now(); // doctest, not code we scan
+/// ```
+pub struct Carrier {
+    width: u32,
+    height: u32,
+}
+
+impl Carrier {
+    make_getter!(width, width);
+    make_getter!(height, height);
+
+    pub fn describe(&self) -> String {
+        // Trigger words inside string literals stay strings.
+        let template = "call fn answer() { HashMap::new() } via Instant::now";
+        let raw = r#"fn raw_decoy() { panic!("never parsed") }"#;
+        format!("{template}/{raw}/{}", self.width)
+    }
+}
+
+// Nested generics with shifts that lex as two `>` tokens, plus a
+// where-clause — the item scanner must come out the other side and
+// still see `after_generics` as a real function.
+pub fn deeply_generic<T: IntoIterator<Item = Result<Vec<u32>, String>>, F>(items: T, f: F) -> usize
+where
+    F: Fn(&[u32]) -> Option<Result<u32, String>>,
+{
+    let _ = f(&[]);
+    items.into_iter().count()
+}
+
+pub fn after_generics() -> u32 {
+    7
+}
+
+// Trait default methods are items; `provided` has a body and must be
+// parsed with `via_trait` semantics, while `required` has none.
+pub trait Sizing {
+    fn required(&self) -> u32;
+
+    fn provided(&self) -> u32 {
+        self.required() + 1
+    }
+}
+
+// A char literal that looks like an opening brace/quote must not
+// derail brace matching for the items below it.
+pub fn punctuation_soup() -> (char, char, char) {
+    ('{', '"', '}')
+}
+
+pub fn last_item_parses() -> bool {
+    true
+}

@@ -1,0 +1,165 @@
+//! Interprocedural-pass corpus: each fixture under `tests/fixtures/` is
+//! a miniature workspace exercising one pass — the D101 laundering
+//! chain the token rules cannot see, the L001 AB/BA cycle, an L002
+//! model call under a held lock, a P001 panic buried three frames deep
+//! — plus an adversarial parser corpus that must produce no findings
+//! at all.
+
+use std::path::Path;
+
+use taxoglimpse_lint::{lint_sources, LintReport};
+
+/// Load fixture files from `tests/fixtures/<dir>/` and lint them under
+/// the given workspace-relative paths.
+fn lint_fixture(dir: &str, mapping: &[(&str, &str)]) -> LintReport {
+    let base = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(dir);
+    let sources: Vec<(String, String)> = mapping
+        .iter()
+        .map(|(file, rel)| {
+            let text = std::fs::read_to_string(base.join(file))
+                .unwrap_or_else(|e| panic!("fixture {dir}/{file}: {e}"));
+            ((*rel).to_owned(), text)
+        })
+        .collect();
+    lint_sources(&sources)
+}
+
+fn rules_of(report: &LintReport) -> Vec<&'static str> {
+    report.findings.iter().map(|f| f.rule).collect()
+}
+
+// ---------------------------------------------------------------- D101
+
+#[test]
+fn d101_catches_laundered_entropy_with_full_chain() {
+    let report = lint_fixture(
+        "d101_laundering",
+        &[
+            ("core_eval.rs", "crates/core/src/eval.rs"),
+            ("bench_util.rs", "crates/bench/src/util.rs"),
+        ],
+    );
+    // The token rules are silent: crates/bench is D002-exempt, and the
+    // root file contains no entropy pattern. Only D101 fires.
+    assert_eq!(rules_of(&report), ["D101"], "{:?}", report.findings);
+
+    let f = &report.findings[0];
+    // Anchored at the entropy source, not at the root.
+    assert_eq!(f.file, "crates/bench/src/util.rs");
+    assert_eq!(f.pass, "reach");
+    // The chain names every hop from the nearest deterministic root
+    // down to the clock read (every fn in a root file is a root, so
+    // the minimal chain starts at `stamp_offset`, not `score`).
+    assert_eq!(
+        f.chain,
+        ["core::eval::stamp_offset", "bench::util::stamp", "Instant::now"]
+    );
+}
+
+#[test]
+fn d101_respects_an_allow_at_the_source() {
+    let entropy = "pub fn stamp() -> u64 {\n    \
+        // lint:allow(D101, fixture proves suppression plumbs through the interprocedural pass)\n    \
+        let t = std::time::Instant::now();\n    t.elapsed().as_nanos() as u64\n}\n";
+    let root = "pub fn score() -> u64 { crate::util::stamp() }\n";
+    let report = lint_sources(&[
+        ("crates/core/src/eval.rs".to_owned(), root.to_owned()),
+        ("crates/bench/src/util.rs".to_owned(), entropy.to_owned()),
+    ]);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+    assert_eq!(report.allows_used, 1);
+}
+
+// ---------------------------------------------------------------- L001
+
+#[test]
+fn l001_flags_ab_ba_cycle_once() {
+    let report = lint_fixture("l001_cycle", &[("pair.rs", "crates/x/src/pair.rs")]);
+    assert_eq!(rules_of(&report), ["L001"], "{:?}", report.findings);
+
+    let f = &report.findings[0];
+    assert_eq!(f.pass, "locks");
+    // The chain walks the cycle and closes it.
+    assert_eq!(f.chain, ["Pair.first", "Pair.second", "Pair.first"]);
+    assert!(f.message.contains("lock-order cycle"), "{}", f.message);
+}
+
+#[test]
+fn l001_stays_silent_for_consistent_order() {
+    // Same two locks, but both functions take first → second.
+    let src = "pub struct Pair { first: Mutex<u32>, second: Mutex<u32> }\n\
+        impl Pair {\n\
+            pub fn ab(&self) -> u32 {\n\
+                let a = self.first.lock().expect(\"first lock stays healthy\");\n\
+                let b = self.second.lock().expect(\"second lock stays healthy\");\n\
+                *a + *b\n\
+            }\n\
+            pub fn also_ab(&self) -> u32 {\n\
+                let a = self.first.lock().expect(\"first lock stays healthy\");\n\
+                let b = self.second.lock().expect(\"second lock stays healthy\");\n\
+                *a * *b\n\
+            }\n\
+        }\n";
+    let report = lint_sources(&[("crates/x/src/pair.rs".to_owned(), src.to_owned())]);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+// ---------------------------------------------------------------- L002
+
+#[test]
+fn l002_flags_model_call_under_held_lock() {
+    let report = lint_fixture("l002_lock_model", &[("gate.rs", "crates/x/src/gate.rs")]);
+    assert_eq!(rules_of(&report), ["L002"], "{:?}", report.findings);
+
+    let f = &report.findings[0];
+    assert_eq!(f.pass, "locks");
+    assert_eq!(f.chain, ["x::gate::Gate::ask", "answer"]);
+    assert!(f.message.contains("Gate.model"), "{}", f.message);
+}
+
+#[test]
+fn l002_stays_silent_when_lock_drops_before_the_call() {
+    // Statement-scoped guard: the lock is released before the model
+    // call, so serving is not serialized.
+    let src = "pub struct Backend;\n\
+        impl Backend { pub fn answer(&self, q: &str) -> usize { q.len() } }\n\
+        pub struct Gate { model: Backend, count: Mutex<u32> }\n\
+        impl Gate {\n\
+            pub fn ask(&self, q: &str) -> usize {\n\
+                { let mut c = self.count.lock().expect(\"count lock stays healthy\"); *c += 1; }\n\
+                self.model.answer(q)\n\
+            }\n\
+        }\n";
+    let report = lint_sources(&[("crates/x/src/gate.rs".to_owned(), src.to_owned())]);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+// ---------------------------------------------------------------- P001
+
+#[test]
+fn p001_walks_a_deep_private_chain_to_the_panic() {
+    let report = lint_fixture("p001_deep", &[("lib.rs", "crates/x/src/lib.rs")]);
+    assert_eq!(rules_of(&report), ["P001"], "{:?}", report.findings);
+
+    let f = &report.findings[0];
+    assert_eq!(f.pass, "reach");
+    assert_eq!(f.chain, ["x::entry", "x::middle", "x::deep", "panic!"]);
+    // The orphaned private panic produced no second finding.
+    assert!(!report.findings.iter().any(|f| f.message.contains("orphaned")));
+}
+
+#[test]
+fn p001_ignores_binary_targets() {
+    let src = "pub fn main() { helper() }\nfn helper() { panic!(\"CLI glue may panic\") }\n";
+    let report = lint_sources(&[("crates/x/src/main.rs".to_owned(), src.to_owned())]);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}
+
+// ------------------------------------------------------------- parser
+
+#[test]
+fn adversarial_corpus_produces_no_findings() {
+    let report =
+        lint_fixture("parser_adversarial", &[("weird.rs", "crates/x/src/weird.rs")]);
+    assert!(report.findings.is_empty(), "{:?}", report.findings);
+}

@@ -196,6 +196,7 @@ impl LanguageModel for ApiClient {
     }
 
     fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
+        // lint:allow(L002, stats accounting and the serve closure are deterministic simulation - no real network wait happens under the lock)
         let mut stats = self.stats.lock().expect("stats lock not poisoned");
         self.serve(&mut stats, query, || self.inner.answer(query))
     }

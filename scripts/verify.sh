@@ -142,4 +142,37 @@ cargo run --release --offline -q -p taxoglimpse-bench --bin bench_shard -- \
     --check "$SMOKE_OUT"
 rm -rf "$SMOKE_OUT" "$SMOKE_CACHE"
 
+# 8. Interprocedural lint engine: exercise the schema-v2 surface the
+#    way a consumer would. The workspace scan in stage 3 already ran
+#    the new passes (D101/L001/L002/P001/S001 are part of --check);
+#    here we additionally dump the call graph, check it is valid JSON
+#    that names a known deep chain, validate a v2 report written fresh,
+#    and require --explain to resolve every published rule id while
+#    rejecting an unknown one with the usage exit code.
+echo "==> interprocedural lint surface (--graph / --explain / schema v2)"
+GRAPH_OUT="$(mktemp)"
+LINT_OUT="$(mktemp)"
+cargo run --release --offline -q -p taxoglimpse-lint -- \
+    --workspace --check --graph "$GRAPH_OUT" --json "$LINT_OUT"
+cargo run --release --offline -q -p taxoglimpse-lint -- \
+    --validate "$LINT_OUT"
+grep -q '"schema_version": 2' "$LINT_OUT" || {
+    echo "error: lint report is not schema v2" >&2
+    exit 1
+}
+grep -q 'core::resilience::ResilienceSession::call_impl' "$GRAPH_OUT" || {
+    echo "error: call-graph dump is missing a known workspace chain" >&2
+    exit 1
+}
+for rule in D001 D002 D003 C001 M001 U001 D101 L001 L002 P001 S001; do
+    cargo run --release --offline -q -p taxoglimpse-lint -- \
+        --explain "$rule" > /dev/null
+done
+if cargo run --release --offline -q -p taxoglimpse-lint -- \
+    --explain Z999 > /dev/null 2>&1; then
+    echo "error: --explain accepted an unknown rule id" >&2
+    exit 1
+fi
+rm -f "$GRAPH_OUT" "$LINT_OUT"
+
 echo "==> verify OK: hermetic tier-1 passed"

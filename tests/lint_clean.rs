@@ -2,8 +2,10 @@
 //!
 //! This is the test-side half of the contract `scripts/verify.sh`
 //! enforces with `cargo run -p taxoglimpse-lint -- --workspace --check`:
-//! any unsuppressed D001/D002/D003/C001/M001 finding — or a
-//! `lint:allow` that no longer fires (U001) — fails `cargo test`.
+//! any unsuppressed finding from the token rules
+//! (D001/D002/D003/C001/M001), the interprocedural passes
+//! (D101/L001/L002/P001), the linter's own registry self-check (S001),
+//! or a `lint:allow` that no longer fires (U001) — fails `cargo test`.
 
 use std::path::Path;
 
@@ -24,8 +26,38 @@ fn workspace_has_no_lint_findings() {
 fn lint_report_json_is_schema_valid() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let report = taxoglimpse_lint::lint_workspace(root).expect("workspace sources readable");
+    assert_eq!(taxoglimpse_lint::SCHEMA_VERSION, 2);
     let text = report.to_json().render_pretty();
     let doc = taxoglimpse::json::from_str_value(&text).expect("report JSON parses");
     let n = taxoglimpse_lint::validate_report(&doc).expect("report JSON is schema-valid");
     assert_eq!(n, report.findings.len());
+}
+
+#[test]
+fn interprocedural_passes_are_armed_against_this_workspace() {
+    // A clean report proves nothing if the new passes never ran. Check
+    // the engine end-to-end against the real tree: the call graph must
+    // resolve the known model-under-lock shape in `Resilient::answer`,
+    // and that site must carry a live L002 suppression (the allow is
+    // consumed, so the report stays clean).
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = taxoglimpse_lint::lint_workspace(root).expect("workspace sources readable");
+    assert!(report.findings.is_empty(), "{}", report.render_table());
+    assert!(
+        report.allows_used >= 13,
+        "expected the triaged L002/P001 suppressions to fire; only {} allow(s) used",
+        report.allows_used
+    );
+
+    let graph_json = taxoglimpse_lint::workspace_graph_json(root).expect("graph builds");
+    let doc = taxoglimpse::json::from_str_value(&graph_json).expect("graph JSON parses");
+    let rendered = doc.render_pretty();
+    for expected in [
+        "core::resilience::Resilient::answer",
+        "core::resilience::ResilienceSession::call",
+        "core::shard::run_sharded",
+        "core::eval",
+    ] {
+        assert!(rendered.contains(expected), "call graph is missing `{expected}`");
+    }
 }
