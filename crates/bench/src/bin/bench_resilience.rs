@@ -8,6 +8,9 @@
 //! * pooled availability (fraction of questions that got any answer),
 //! * the retry-amplification factor (model deliveries per question —
 //!   how much extra serving the retry layer buys its availability with),
+//! * virtual per-query latency percentiles of the retry layer (backoff
+//!   waits + retries + fast-fails on a fresh session clock, via the
+//!   log-scale histogram the serving benchmarks use),
 //! * a `reports_digest` over every report's JSON.
 //!
 //! Two invariants are *enforced in-run*, not just recorded:
@@ -33,11 +36,15 @@ use taxoglimpse_core::domain::TaxonomyKind;
 use taxoglimpse_core::eval::EvalReport;
 use taxoglimpse_core::grid::GridRunner;
 use taxoglimpse_core::metrics::Metrics;
-use taxoglimpse_core::model::LanguageModel;
+use taxoglimpse_core::model::{LanguageModel, Query};
+use taxoglimpse_core::prompts::{render_prompt, PromptSetting};
+use taxoglimpse_core::resilience::{ResiliencePolicy, ResilienceSession};
+use taxoglimpse_core::templates::TemplateVariant;
 use taxoglimpse_json::{from_str_value, Json, ToJson};
 use taxoglimpse_llm::faults::{FaultInjector, FaultPlan};
 use taxoglimpse_llm::profile::ModelId;
 use taxoglimpse_llm::simulate::SimulatedLlm;
+use taxoglimpse_report::histogram::LatencyHistogram;
 use taxoglimpse_synth::rng::{hash_str, mix64};
 
 /// Current schema version of `BENCH_resilience.json` (see README.md).
@@ -151,6 +158,40 @@ fn digest_reports(reports: &[EvalReport]) -> u64 {
     digest
 }
 
+/// Per-query *virtual* latency of the retry layer at one fault rate:
+/// replay every query through a fresh [`ResilienceSession`] per model
+/// and measure the session-clock delta (backoff waits, retry
+/// deliveries, breaker fast-fails) each query costs. Percentiles come
+/// from the log-scale [`LatencyHistogram`] the serving benchmarks use.
+fn virtual_latency(models: &[&dyn LanguageModel], datasets: &[&Dataset]) -> Json {
+    let mut histogram = LatencyHistogram::new();
+    for model in models {
+        let mut session = ResilienceSession::new(ResiliencePolicy::default());
+        for dataset in datasets {
+            for question in dataset.questions() {
+                let prompt = render_prompt(
+                    question,
+                    PromptSetting::ZeroShot,
+                    TemplateVariant::default(),
+                    &[],
+                );
+                let query = Query::new(&prompt, question, PromptSetting::ZeroShot);
+                let before_s = session.clock_s();
+                // The outcome itself is scored by the grid runs; here
+                // only the clock cost matters.
+                let _ = session.call(*model, &query);
+                histogram.record(session.clock_s() - before_s);
+            }
+        }
+    }
+    Json::obj(vec![
+        ("samples", histogram.count().to_json()),
+        ("p50_s", histogram.p50().to_json()),
+        ("p99_s", histogram.p99().to_json()),
+        ("p999_s", histogram.p999().to_json()),
+    ])
+}
+
 /// Run the measured workload and build the `BENCH_resilience.json`
 /// document.
 fn run_bench(opts: &BenchOptions) -> Json {
@@ -246,6 +287,7 @@ fn run_bench(opts: &BenchOptions) -> Json {
 
         let repeats = opts.repeat.max(1) as f64;
         let qps = queries as f64 / best;
+        let latency = virtual_latency(&model_refs, &dataset_refs);
         eprintln!(
             "rate {rate}: {queries} queries, best {:.1} ms, {:.0} q/s, avail {:.4}, amp {:.3}, digest {digest:016x}",
             best * 1e3,
@@ -264,6 +306,7 @@ fn run_bench(opts: &BenchOptions) -> Json {
             ("deliveries", deliveries.to_json()),
             ("injected_faults", injected.to_json()),
             ("retry_amplification", amplification.to_json()),
+            ("virtual_latency", latency),
             ("reports_digest", format!("{digest:016x}").to_json()),
             (
                 "workers_checked",
@@ -350,6 +393,23 @@ fn check_file(path: &str) -> Result<String, String> {
             .ok_or("retry_amplification must be >= 1")?;
         let digest =
             entry.get("reports_digest").and_then(Json::as_str).ok_or("missing reports_digest")?;
+        // Optional (added after the first pinned baseline): virtual
+        // retry-layer latency percentiles must be monotone when present.
+        if let Some(latency) = entry.get("virtual_latency") {
+            let p50 = latency.get("p50_s").and_then(Json::as_f64).ok_or("virtual_latency.p50_s must be a number")?;
+            let p99 = latency.get("p99_s").and_then(Json::as_f64).ok_or("virtual_latency.p99_s must be a number")?;
+            let p999 = latency.get("p999_s").and_then(Json::as_f64).ok_or("virtual_latency.p999_s must be a number")?;
+            if !(p50 <= p99 && p99 <= p999) {
+                return Err(format!(
+                    "virtual_latency percentiles not monotone: p50 {p50}, p99 {p99}, p999 {p999}"
+                ));
+            }
+            if rate == 0.0 && p999 != 0.0 {
+                return Err(format!(
+                    "fault rate 0 virtual_latency p999 {p999} != 0 (nothing retries)"
+                ));
+            }
+        }
         if rate == 0.0 {
             if digest != bare_digest {
                 return Err(format!(

@@ -32,6 +32,10 @@
 //!   partitioned taxonomies and grids behind a deterministic
 //!   content-keyed router; merged reports are byte-identical across
 //!   shard counts.
+//! * **Online serving** ([`serve`]): a virtual-time discrete-event
+//!   serving layer — open-loop multi-tenant traffic, dynamic batching,
+//!   admission control — over the same model towers, with
+//!   byte-identical traces across prefetch worker counts.
 
 #![warn(missing_docs)]
 
@@ -54,6 +58,7 @@ pub mod qgen;
 pub mod question;
 pub mod resilience;
 pub mod sampling;
+pub mod serve;
 pub mod shard;
 pub mod store;
 pub mod templates;
@@ -69,4 +74,5 @@ pub use model::{LanguageModel, ModelError, Query, Response};
 pub use prompts::PromptSetting;
 pub use question::{NegativeKind, Question, QuestionBody, QuestionKind};
 pub use resilience::{BackoffPolicy, BreakerPolicy, Resilient, ResiliencePolicy};
+pub use serve::{run_serve, ServeConfig, ServeReport, TrafficConfig};
 pub use shard::{ShardRouter, ShardRun, ShardedDataset};

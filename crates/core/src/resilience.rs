@@ -224,6 +224,29 @@ impl ResilienceStats {
     }
 }
 
+/// Stats aggregate field-wise, so per-lane/per-tenant/per-shard
+/// sessions roll up without hand-summing counters (same contract as
+/// `CacheStats`).
+impl std::ops::AddAssign for ResilienceStats {
+    fn add_assign(&mut self, rhs: ResilienceStats) {
+        self.queries += rhs.queries;
+        self.deliveries += rhs.deliveries;
+        self.retries += rhs.retries;
+        self.failed += rhs.failed;
+        self.fast_failed += rhs.fast_failed;
+    }
+}
+
+impl std::iter::Sum for ResilienceStats {
+    fn sum<I: Iterator<Item = ResilienceStats>>(iter: I) -> ResilienceStats {
+        let mut total = ResilienceStats::default();
+        for stats in iter {
+            total += stats;
+        }
+        total
+    }
+}
+
 /// Mutable execution state for one policy over one run of questions.
 ///
 /// Deliberately *not* shared across grid chunks: a fresh session per
@@ -680,5 +703,21 @@ mod tests {
         assert_eq!(response.attempts, 2);
         assert!(wrapped.stats().amplification() > 1.0);
         assert_eq!(wrapped.base().calls.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn stats_aggregate_field_wise() {
+        let a = ResilienceStats { queries: 10, deliveries: 13, retries: 3, failed: 1, fast_failed: 0 };
+        let b = ResilienceStats { queries: 4, deliveries: 4, retries: 0, failed: 2, fast_failed: 2 };
+        let mut merged = a;
+        merged += b;
+        assert_eq!(
+            merged,
+            ResilienceStats { queries: 14, deliveries: 17, retries: 3, failed: 3, fast_failed: 2 }
+        );
+        let summed: ResilienceStats = [a, b].into_iter().sum();
+        assert_eq!(summed, merged);
+        let empty: ResilienceStats = std::iter::empty().sum();
+        assert_eq!(empty, ResilienceStats::default());
     }
 }

@@ -1,0 +1,211 @@
+//! Per-model dynamic batching.
+//!
+//! Each model gets one [`Lane`]: a bounded FIFO of admitted requests
+//! plus a single logical server. A batch closes — and dispatches
+//! through the model's `answer_batch` tower — when either
+//!
+//! * the queue holds `max_batch` requests (size cap), or
+//! * the oldest pending request has waited `batch_deadline_s` of
+//!   virtual time (deadline close), or
+//! * the server goes idle with work pending (work-conserving close).
+//!
+//! Deadlines are scheduled as events; a lane's *dispatch epoch*
+//! invalidates deadlines scheduled for batches that have since been
+//! dispatched by the size cap, so stale events are recognized by an
+//! epoch mismatch and ignored rather than cancelled (the event queue
+//! never needs deletion).
+//!
+//! The batching tradeoff the benchmark measures comes from the service
+//! model: a dispatched batch of `n` requests occupies the server for
+//! `batch_overhead_s + n * per_item_s` plus whatever retry/backoff
+//! time the lane's [`ResilienceSession`] accrues replaying it. Large
+//! batches amortize the overhead (throughput); waiting to fill them
+//! costs queueing delay (latency).
+
+use crate::resilience::{ResilienceSession, ResilienceStats};
+
+/// One admitted request waiting in (or flowing through) a lane.
+#[derive(Debug, Clone, Copy)]
+pub struct PendingRequest {
+    /// Global arrival ordinal (trace identity).
+    pub id: u64,
+    /// The tenant that offered it.
+    pub tenant: u32,
+    /// Index into the question pool.
+    pub question: u32,
+    /// Virtual arrival timestamp.
+    pub arrival_s: f64,
+}
+
+/// Outcome of one dispatched request, reported at batch completion.
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedRequest {
+    /// The request's metadata.
+    pub request: PendingRequest,
+    /// Whether the resilience layer delivered an answer.
+    pub delivered: bool,
+}
+
+/// Per-lane counters for the serving report.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LaneStats {
+    /// Model name the lane serves.
+    pub model: String,
+    /// Requests answered successfully.
+    pub completed: u64,
+    /// Requests that exhausted the resilience budget.
+    pub failed: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Sum of batch sizes (mean occupancy = `occupancy_sum / batches`).
+    pub occupancy_sum: u64,
+    /// Largest batch dispatched.
+    pub occupancy_max: u64,
+    /// The lane session's retry/breaker counters.
+    pub resilience: ResilienceStats,
+}
+
+/// One model's serving lane.
+#[derive(Debug)]
+pub struct Lane {
+    /// Admitted requests waiting for a batch, oldest first.
+    pub pending: std::collections::VecDeque<PendingRequest>,
+    /// Requests dispatched and not yet completed, with their verdicts
+    /// (computed at dispatch, surfaced at the batch-done event).
+    pub in_flight: Vec<CompletedRequest>,
+    /// Whether the server is occupied by a dispatched batch.
+    pub busy: bool,
+    /// Dispatch epoch; bumped on every dispatch so outstanding
+    /// deadline events for earlier batches become stale.
+    pub epoch: u64,
+    /// Whether a deadline event is outstanding for the current epoch.
+    pub deadline_scheduled: bool,
+    /// Retry/backoff/breaker state for this lane.
+    pub session: ResilienceSession,
+    /// Counters for the report.
+    pub stats: LaneStats,
+}
+
+impl Lane {
+    /// A fresh idle lane for `model`, with a fresh session.
+    pub fn new(model: &str, session: ResilienceSession) -> Self {
+        Lane {
+            pending: std::collections::VecDeque::new(),
+            in_flight: Vec::new(),
+            busy: false,
+            epoch: 0,
+            deadline_scheduled: false,
+            session,
+            stats: LaneStats { model: model.to_owned(), ..LaneStats::default() },
+        }
+    }
+
+    /// Whether a batch should dispatch *now*: server idle, work
+    /// pending, and either the size cap reached or the oldest request
+    /// past its deadline.
+    pub fn should_dispatch(&self, now_s: f64, max_batch: usize, deadline_s: f64) -> bool {
+        if self.busy || self.pending.is_empty() {
+            return false;
+        }
+        if self.pending.len() >= max_batch {
+            return true;
+        }
+        match self.pending.front() {
+            Some(oldest) => oldest.arrival_s + deadline_s <= now_s,
+            None => false,
+        }
+    }
+
+    /// Pop the next batch (up to `max_batch` oldest requests), bump
+    /// the epoch, and mark the server busy. Call only after
+    /// [`Lane::should_dispatch`] returned true.
+    pub fn take_batch(&mut self, max_batch: usize) -> Vec<PendingRequest> {
+        let n = self.pending.len().min(max_batch.max(1));
+        let batch: Vec<PendingRequest> = self.pending.drain(..n).collect();
+        self.epoch += 1;
+        self.deadline_scheduled = false;
+        self.busy = true;
+        self.stats.batches += 1;
+        self.stats.occupancy_sum += batch.len() as u64;
+        self.stats.occupancy_max = self.stats.occupancy_max.max(batch.len() as u64);
+        batch
+    }
+
+    /// The deadline the current oldest pending request implies, if a
+    /// deadline event still needs scheduling.
+    pub fn deadline_to_schedule(&mut self, deadline_s: f64) -> Option<(f64, u64)> {
+        if self.deadline_scheduled {
+            return None;
+        }
+        let oldest = self.pending.front()?;
+        self.deadline_scheduled = true;
+        Some((oldest.arrival_s + deadline_s, self.epoch))
+    }
+
+    /// Whether a deadline event for `epoch` is still current.
+    pub fn deadline_is_current(&self, epoch: u64) -> bool {
+        epoch == self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resilience::ResiliencePolicy;
+
+    fn lane() -> Lane {
+        Lane::new("m", ResilienceSession::new(ResiliencePolicy::default()))
+    }
+
+    fn request(id: u64, arrival_s: f64) -> PendingRequest {
+        PendingRequest { id, tenant: 0, question: 0, arrival_s }
+    }
+
+    #[test]
+    fn dispatches_on_size_cap_or_deadline() {
+        let mut lane = lane();
+        assert!(!lane.should_dispatch(0.0, 4, 0.1), "idle lane has nothing to dispatch");
+
+        lane.pending.push_back(request(0, 0.0));
+        assert!(!lane.should_dispatch(0.05, 4, 0.1), "neither cap nor deadline yet");
+        assert!(lane.should_dispatch(0.1, 4, 0.1), "deadline reached");
+
+        for id in 1..4 {
+            lane.pending.push_back(request(id, 0.02));
+        }
+        assert!(lane.should_dispatch(0.03, 4, 0.1), "size cap reached");
+
+        let batch = lane.take_batch(4);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0].id, 0, "oldest first");
+        assert!(lane.busy);
+        assert_eq!(lane.epoch, 1);
+        assert_eq!(lane.stats.batches, 1);
+        assert_eq!(lane.stats.occupancy_sum, 4);
+        assert_eq!(lane.stats.occupancy_max, 4);
+        assert!(!lane.should_dispatch(10.0, 4, 0.1), "busy lane never double-dispatches");
+    }
+
+    #[test]
+    fn deadline_scheduling_is_once_per_batch_and_epoch_guarded() {
+        let mut lane = lane();
+        assert_eq!(lane.deadline_to_schedule(0.1), None, "no pending, no deadline");
+
+        lane.pending.push_back(request(0, 1.0));
+        let (at, epoch) = lane.deadline_to_schedule(0.1).expect("deadline for the oldest");
+        assert_eq!(at, 1.1);
+        assert_eq!(epoch, 0);
+        assert_eq!(lane.deadline_to_schedule(0.1), None, "already scheduled");
+        assert!(lane.deadline_is_current(epoch));
+
+        lane.take_batch(4);
+        assert!(!lane.deadline_is_current(epoch), "dispatch staled the deadline");
+
+        // After the dispatch, a newly pending request re-arms.
+        lane.pending.push_back(request(1, 2.0));
+        let (at, epoch) = lane.deadline_to_schedule(0.1).expect("re-armed deadline");
+        assert_eq!(at, 2.1);
+        assert_eq!(epoch, 1);
+        assert!(lane.deadline_is_current(epoch));
+    }
+}

@@ -26,6 +26,11 @@ pub const D101_ROOT_FILES: &[&str] = &[
     "crates/core/src/shard.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/resilience.rs",
+    "crates/core/src/serve/mod.rs",
+    "crates/core/src/serve/admission.rs",
+    "crates/core/src/serve/batcher.rs",
+    "crates/core/src/serve/sim.rs",
+    "crates/core/src/serve/traffic.rs",
 ];
 
 /// Whole crates that are deterministic roots for D101.

@@ -21,6 +21,11 @@ pub const M001_PATHS: &[&str] = &[
     "crates/core/src/resilience.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/shard.rs",
+    "crates/core/src/serve/mod.rs",
+    "crates/core/src/serve/admission.rs",
+    "crates/core/src/serve/batcher.rs",
+    "crates/core/src/serve/sim.rs",
+    "crates/core/src/serve/traffic.rs",
     "crates/llm/src/faults.rs",
 ];
 

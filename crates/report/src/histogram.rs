@@ -1,0 +1,280 @@
+//! Deterministic fixed-bucket log-scale latency histogram.
+//!
+//! Serving benchmarks report tail percentiles (p50/p99/p999) over
+//! hundreds of thousands of virtual latencies; sorting every sample is
+//! wasteful and a floating-point `log()` bucket map would tie the
+//! bucket layout to libm rounding. This histogram avoids both: the
+//! bucket index is computed **purely from the f64 bit pattern**
+//! (exponent + top mantissa bits), so the layout is a platform-free
+//! function of the value, and a quantile query walks fixed buckets in
+//! O(buckets).
+//!
+//! Layout: [`SUBS_PER_OCTAVE`] sub-buckets per power of two between
+//! 2^[`MIN_EXP`] (~1 µs) and 2^[`MAX_EXP`] (~4.5 h), bracketed by an
+//! underflow bucket (zero and sub-microsecond values) and an overflow
+//! bucket. Relative bucket width is at most 1/8 ≈ 12.5%, so any
+//! quantile estimate lands in the *same* bucket as the exact-sort
+//! oracle — the contract `tests/serve.rs` pins.
+//!
+//! Histograms are additive ([`AddAssign`](std::ops::AddAssign) /
+//! [`Sum`](std::iter::Sum)), so per-tenant or per-shard histograms
+//! merge into fleet-wide views without re-recording.
+
+/// Sub-buckets per power of two (top three mantissa bits).
+pub const SUBS_PER_OCTAVE: usize = 8;
+
+/// Smallest binary exponent with its own octave: 2^-20 ≈ 0.95 µs.
+pub const MIN_EXP: i32 = -20;
+
+/// One past the largest binary exponent with its own octave:
+/// 2^14 = 16384 s ≈ 4.5 h.
+pub const MAX_EXP: i32 = 14;
+
+/// Total buckets: the octaves plus underflow (index 0) and overflow
+/// (last index).
+pub const NUM_BUCKETS: usize = (MAX_EXP - MIN_EXP) as usize * SUBS_PER_OCTAVE + 2;
+
+/// A fixed-layout log-scale histogram of non-negative samples
+/// (seconds, by convention — the layout is unit-agnostic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: Box<[u64; NUM_BUCKETS]>,
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for `value`, from the f64 bit pattern alone.
+///
+/// Negative, zero, NaN and sub-range values map to the underflow
+/// bucket 0; values at or above 2^[`MAX_EXP`] map to the overflow
+/// bucket. The index is monotone in the value over the covered range.
+pub fn bucket_index(value: f64) -> usize {
+    if !(value > 0.0) {
+        return 0;
+    }
+    let bits = value.to_bits();
+    let exp = ((bits >> 52) & 0x7FF) as i32 - 1023;
+    if exp < MIN_EXP {
+        return 0;
+    }
+    if exp >= MAX_EXP {
+        return NUM_BUCKETS - 1;
+    }
+    let sub = ((bits >> 49) & 0x7) as usize;
+    1 + (exp - MIN_EXP) as usize * SUBS_PER_OCTAVE + sub
+}
+
+/// Inclusive lower bound of bucket `index` — the representative a
+/// quantile query returns. The underflow bucket reports 0; the
+/// overflow bucket reports its lower edge 2^[`MAX_EXP`].
+pub fn bucket_lower_bound(index: usize) -> f64 {
+    if index == 0 {
+        return 0.0;
+    }
+    if index >= NUM_BUCKETS - 1 {
+        return 2.0f64.powi(MAX_EXP);
+    }
+    let exp = MIN_EXP + ((index - 1) / SUBS_PER_OCTAVE) as i32;
+    let sub = (index - 1) % SUBS_PER_OCTAVE;
+    2.0f64.powi(exp) * (1.0 + sub as f64 / SUBS_PER_OCTAVE as f64)
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { counts: Box::new([0; NUM_BUCKETS]), total: 0 }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: f64) {
+        self.counts[bucket_index(value)] += 1;
+        self.total += 1;
+    }
+
+    /// Record every sample of a slice.
+    pub fn record_all(&mut self, values: &[f64]) {
+        for &v in values {
+            self.record(v);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// The `q`-quantile (`q` clamped to [0, 1]): the lower bound of the
+    /// bucket holding the sample of rank `ceil(q * n)`. Returns 0 for
+    /// an empty histogram. Because buckets are at most 12.5% wide, the
+    /// estimate is within one bucket of the exact-sort oracle.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                return bucket_lower_bound(index);
+            }
+        }
+        // Counts sum to `total` and rank <= total, so the loop always
+        // returns; this arm is unreachable by construction.
+        bucket_lower_bound(NUM_BUCKETS - 1)
+    }
+
+    /// Median shorthand.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile shorthand.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile shorthand.
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+}
+
+/// Histograms over the same fixed layout are additive: per-tenant or
+/// per-shard histograms merge by bucket-wise summation.
+impl std::ops::AddAssign<&LatencyHistogram> for LatencyHistogram {
+    fn add_assign(&mut self, rhs: &LatencyHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(rhs.counts.iter()) {
+            *mine += *theirs;
+        }
+        self.total += rhs.total;
+    }
+}
+
+impl std::iter::Sum for LatencyHistogram {
+    fn sum<I: Iterator<Item = LatencyHistogram>>(iter: I) -> LatencyHistogram {
+        let mut merged = LatencyHistogram::new();
+        for histogram in iter {
+            merged += &histogram;
+        }
+        merged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use taxoglimpse_synth::rng::{fork, Rng};
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounded() {
+        let values = [
+            0.0, 1e-9, 9e-7, 1e-6, 1e-3, 0.01, 0.5, 1.0, 1.5, 2.0, 30.0, 1e3, 16383.0, 16384.0,
+            1e9,
+        ];
+        let mut last = 0;
+        for v in values {
+            let b = bucket_index(v);
+            assert!(b >= last, "bucket({v}) = {b} < previous {last}");
+            assert!(b < NUM_BUCKETS);
+            last = b;
+        }
+        assert_eq!(bucket_index(-1.0), 0);
+        assert_eq!(bucket_index(f64::NAN), 0);
+        assert_eq!(bucket_index(f64::INFINITY), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn lower_bounds_fall_in_their_own_bucket() {
+        for index in 1..NUM_BUCKETS - 1 {
+            let lo = bucket_lower_bound(index);
+            assert_eq!(bucket_index(lo), index, "lower bound of bucket {index} ({lo})");
+        }
+        assert_eq!(bucket_lower_bound(0), 0.0);
+        assert_eq!(bucket_index(bucket_lower_bound(NUM_BUCKETS - 1)), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_at_most_one_eighth() {
+        for index in 1..NUM_BUCKETS - 2 {
+            let lo = bucket_lower_bound(index);
+            let hi = bucket_lower_bound(index + 1);
+            assert!(hi > lo);
+            assert!((hi - lo) / lo <= 0.125 + 1e-12, "bucket {index}: [{lo}, {hi})");
+        }
+    }
+
+    /// The contract the serving benchmarks rely on: every quantile
+    /// estimate lands in the same bucket as the exact-sort oracle.
+    #[test]
+    fn quantiles_match_exact_sort_oracle_within_one_bucket() {
+        for case in 0..8u64 {
+            let mut rng = fork(0x4157_0001, "histogram-oracle", case);
+            let n = 200 + (rng.next_u64() % 5000) as usize;
+            let mut samples: Vec<f64> = (0..n)
+                .map(|_| {
+                    let u = rng.gen::<f64>();
+                    // Log-uniform over ~9 decades, plus some exact zeros.
+                    if u < 0.05 {
+                        0.0
+                    } else {
+                        1e-5 * 1e8f64.powf(rng.gen::<f64>())
+                    }
+                })
+                .collect();
+            let mut hist = LatencyHistogram::new();
+            hist.record_all(&samples);
+            samples.sort_by(f64::total_cmp);
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+                let oracle = samples[rank - 1];
+                let estimate = hist.quantile(q);
+                assert_eq!(
+                    bucket_index(estimate),
+                    bucket_index(oracle),
+                    "case {case}: q={q}, oracle {oracle}, estimate {estimate}"
+                );
+                assert!(estimate <= oracle, "lower-bound representative exceeds the oracle");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_zero_everywhere() {
+        let hist = LatencyHistogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.count(), 0);
+        assert_eq!(hist.quantile(0.99), 0.0);
+        assert_eq!(hist.p50(), 0.0);
+    }
+
+    #[test]
+    fn histograms_merge_additively() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record_all(&[0.001, 0.002, 0.004]);
+        b.record_all(&[0.5, 1.0]);
+        let mut whole = LatencyHistogram::new();
+        whole.record_all(&[0.001, 0.002, 0.004, 0.5, 1.0]);
+
+        let mut merged = a.clone();
+        merged += &b;
+        assert_eq!(merged, whole);
+        assert_eq!(merged.count(), 5);
+
+        let summed: LatencyHistogram = [a, b].into_iter().sum();
+        assert_eq!(summed, whole);
+        assert_eq!(summed.p99(), whole.p99());
+    }
+}

@@ -5,17 +5,20 @@
 //! radar-chart data, scalability series — [`figures`]), and the
 //! paper-vs-measured comparison used to fill EXPERIMENTS.md
 //! ([`compare`]), plus the order-stable merge of per-shard partial
-//! reports ([`merge`]).
+//! reports ([`merge`]) and the fixed-bucket log-scale latency
+//! histogram behind the serving benchmarks ([`histogram`]).
 
 #![warn(missing_docs)]
 
 pub mod compare;
 pub mod figures;
+pub mod histogram;
 pub mod leaderboard;
 pub mod merge;
 pub mod table;
 
 pub use compare::{CellComparison, ComparisonSummary};
 pub use figures::Series;
+pub use histogram::LatencyHistogram;
 pub use merge::{merge_reports, merge_sharded, MergeError};
 pub use table::Table;

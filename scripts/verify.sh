@@ -175,4 +175,27 @@ if cargo run --release --offline -q -p taxoglimpse-lint -- \
 fi
 rm -f "$GRAPH_OUT" "$LINT_OUT"
 
+# 9. Serving bench plumbing, same contract as stages 4–7: the
+#    committed BENCH_serve.json must pass shape validation — including
+#    its headline invariant (wall-clock serving throughput within 1.5x
+#    of the offline grid at fault-free saturation), availability
+#    exactly 1 at fault rate 0, monotone p50 <= p99 <= p99.9, and shed
+#    accounting consistent with arrivals/admitted — and a quick-mode
+#    smoke (tiny pool, snapshot cache in a temp dir) must produce a
+#    file that passes the same validation. The smoke run re-proves the
+#    determinism invariant in-process because bench_serve aborts if
+#    any cell's serving report differs across prefetch worker counts
+#    {1,2,8}.
+echo "==> serve bench smoke (TAXOGLIMPSE_BENCH_QUICK)"
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_serve -- \
+    --check BENCH_serve.json
+SMOKE_OUT="$(mktemp)"
+SMOKE_CACHE="$(mktemp -d)"
+TAXOGLIMPSE_BENCH_QUICK=1 TAXOGLIMPSE_CACHE_DIR="$SMOKE_CACHE" \
+    cargo run --release --offline -q \
+    -p taxoglimpse-bench --bin bench_serve -- --label "verify smoke" --out "$SMOKE_OUT"
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_serve -- \
+    --check "$SMOKE_OUT"
+rm -rf "$SMOKE_OUT" "$SMOKE_CACHE"
+
 echo "==> verify OK: hermetic tier-1 passed"

@@ -39,7 +39,8 @@ pub use taxoglimpse_taxonomy as taxonomy;
 
 /// Convenient glob-import surface covering the common workflow types:
 /// dataset construction, the fallible model interface, evaluation
-/// (sequential and grid), resilience, and fault injection.
+/// (sequential and grid), resilience, fault injection, and the
+/// virtual-time serving layer.
 pub mod prelude {
     pub use taxoglimpse_core::{
         cache::{CachedModel, ResponseCache},
@@ -52,8 +53,10 @@ pub mod prelude {
         prompts::PromptSetting,
         question::{Question, QuestionKind},
         resilience::{BackoffPolicy, BreakerPolicy, Resilient, ResiliencePolicy},
+        serve::{run_serve, ServeConfig, ServeReport, TenantSpec, TrafficConfig},
         shard::{run_grid_sharded, run_sharded, ShardRouter, ShardRun, ShardedDataset},
     };
+    pub use taxoglimpse_report::histogram::LatencyHistogram;
     pub use taxoglimpse_report::merge::{merge_reports, merge_sharded, MergeError};
     pub use taxoglimpse_llm::{
         faults::{FaultInjector, FaultPlan},
