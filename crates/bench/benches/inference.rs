@@ -36,7 +36,7 @@ fn bench_inference(b: &mut Bench) {
     for model_id in [ModelId::Gpt4, ModelId::FlanT5_3b, ModelId::Llama2_7b] {
         let model = zoo.get(model_id).unwrap();
         for setting in [PromptSetting::ZeroShot, PromptSetting::FewShot] {
-            let evaluator = Evaluator::new(EvalConfig { setting, ..Default::default() });
+            let evaluator = Evaluator::builder().with_config(EvalConfig { setting, ..Default::default() }).build();
             let name = format!(
                 "inference/ebay_hard_200q/{}/{setting}",
                 model_id.display_name()

@@ -112,7 +112,7 @@ fn main() {
     let gd = build_dataset(&google, TaxonomyKind::Google, QuestionDataset::Hard, &opts);
     let flan = SimulatedLlm::new(ModelId::FlanT5_11b);
     for variant in TemplateVariant::ALL {
-        let report = Evaluator::new(EvalConfig { variant, ..Default::default() }).run(&flan, &gd);
+        let report = Evaluator::builder().with_config(EvalConfig { variant, ..Default::default() }).build().run(&flan, &gd);
         println!("  {variant:?}: A={}", fmt3(report.overall.accuracy()));
     }
     println!();

@@ -37,7 +37,7 @@ use taxoglimpse_bench::TaxonomyCache;
 use taxoglimpse_core::cache::{CacheStats, CachedModel, ResponseCache};
 use taxoglimpse_core::dataset::{Dataset, DatasetBuilder, QuestionDataset};
 use taxoglimpse_core::domain::TaxonomyKind;
-use taxoglimpse_core::eval::{EvalConfig, EvalReport, Evaluator};
+use taxoglimpse_core::eval::{EvalReport, Evaluator};
 use taxoglimpse_core::grid::GridRunnerBuilder;
 use taxoglimpse_core::metrics::Metrics;
 use taxoglimpse_core::model::LanguageModel;
@@ -325,7 +325,7 @@ fn run_bench(opts: &BenchOptions) -> Json {
         let partition = SubtreePartition::new(&taxonomy, NUM_SLOTS);
         let sharded = ShardedDataset::partition(&dataset, &taxonomy, &partition);
         assert_eq!(sharded.len(), dataset.len(), "partitioning must not drop questions");
-        let evaluator = Evaluator::new(EvalConfig::default()).with_batch_size(BATCH_SIZE);
+        let evaluator = Evaluator::default().with_batch_size(BATCH_SIZE);
         let base = zoo.get(ModelId::Gpt4).expect("zoo covers GPT-4");
 
         let mut rate_results = Vec::new();

@@ -25,7 +25,7 @@ fn main() {
         let mut acc_figure = Figure::new(format!("Figure 4: {} — accuracy radar (hard)", model.name()));
         let mut miss_figure = Figure::new(format!("Figure 4: {} — miss-rate radar (hard)", model.name()));
         for setting in PromptSetting::ALL {
-            let evaluator = Evaluator::new(EvalConfig { setting, ..Default::default() });
+            let evaluator = Evaluator::builder().with_config(EvalConfig { setting, ..Default::default() }).build();
             let mut acc_points = Vec::new();
             let mut miss_points = Vec::new();
             for kind in TaxonomyKind::ALL {

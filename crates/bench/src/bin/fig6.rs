@@ -10,7 +10,7 @@ use taxoglimpse_bench::{RunOptions, TaxonomyCache};
 use taxoglimpse_core::dataset::QuestionDataset;
 use taxoglimpse_core::domain::TaxonomyKind;
 use taxoglimpse_core::eval::Evaluator;
-use taxoglimpse_core::instance_typing::InstanceTypingBuilder;
+use taxoglimpse_core::workload::{InstanceTypingWorkload, Workload, WorkloadContext};
 use taxoglimpse_llm::zoo::ModelZoo;
 use taxoglimpse_report::figures::{Figure, Series};
 
@@ -27,11 +27,10 @@ fn main() {
             continue;
         }
         let taxonomy = cache.get(kind, opts.seed, opts.scale_for(kind));
-        let dataset = InstanceTypingBuilder::new(&taxonomy, kind, opts.seed)
-            .expect("instance-bearing kinds only")
-            .sample_cap(opts.cap)
-            .build(QuestionDataset::Hard)
-            .expect("hard flavor is always defined");
+        let dataset = InstanceTypingWorkload::new(QuestionDataset::Hard)
+            .with_sample_cap(opts.cap)
+            .build(&WorkloadContext::new(&taxonomy, kind, opts.seed))
+            .expect("hard flavor is always defined for instance-bearing kinds");
 
         let mut figure = Figure::new(format!(
             "Figure 6({}): {} — instance typing accuracy per target level, hard, zero-shot",

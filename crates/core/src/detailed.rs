@@ -194,7 +194,7 @@ impl DetailedRun {
 fn negative_of(q: &Question) -> Option<NegativeKind> {
     match &q.body {
         QuestionBody::TrueFalse { negative, .. } => *negative,
-        QuestionBody::Mcq { .. } => None,
+        QuestionBody::Mcq { .. } | QuestionBody::Sibling { .. } => None,
     }
 }
 

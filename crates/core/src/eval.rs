@@ -116,6 +116,10 @@ impl FromJson for EvalReport {
 /// Score one parsed answer against the gold answer.
 pub fn score(question: &Question, parsed: ParsedAnswer) -> Outcome {
     match (&question.body, parsed) {
+        // A sibling round whose gold child is not among the shown
+        // options is answered *correctly* by abstaining — before the
+        // blanket IDontKnow-is-a-miss arm below.
+        (QuestionBody::Sibling { correct: None, .. }, ParsedAnswer::IDontKnow) => Outcome::Correct,
         (_, ParsedAnswer::IDontKnow) => Outcome::Missed,
         (QuestionBody::TrueFalse { expected_yes, .. }, ParsedAnswer::Yes) => {
             if *expected_yes {
@@ -138,13 +142,40 @@ pub fn score(question: &Question, parsed: ParsedAnswer) -> Outcome {
                 Outcome::Wrong
             }
         }
+        // Sibling rounds show `options.len()` children plus an abstain
+        // slot at the next letter; an index at or past the child count
+        // is the abstain slot (a real model answering "D)" in a
+        // three-child round chose "None of the above").
+        (QuestionBody::Sibling { options, correct }, ParsedAnswer::Option(i)) => {
+            let abstained = (i as usize) >= options.len();
+            match correct {
+                Some(c) if !abstained => {
+                    if i == *c {
+                        Outcome::Correct
+                    } else {
+                        Outcome::Wrong
+                    }
+                }
+                Some(_) => Outcome::Missed,
+                None => {
+                    if abstained {
+                        Outcome::Correct
+                    } else {
+                        Outcome::Wrong
+                    }
+                }
+            }
+        }
         // Unparseable answers and answer-shape mismatches are wrong
         // answers. Spelled out arm by arm (no `_` wildcard) so adding a
         // `ParsedAnswer` variant is a compile error here, not a silent
         // Wrong.
         (_, ParsedAnswer::Unparsed) => Outcome::Wrong,
         (QuestionBody::TrueFalse { .. }, ParsedAnswer::Option(_)) => Outcome::Wrong,
-        (QuestionBody::Mcq { .. }, ParsedAnswer::Yes | ParsedAnswer::No) => Outcome::Wrong,
+        (
+            QuestionBody::Mcq { .. } | QuestionBody::Sibling { .. },
+            ParsedAnswer::Yes | ParsedAnswer::No,
+        ) => Outcome::Wrong,
     }
 }
 
@@ -163,20 +194,74 @@ pub struct Evaluator {
 
 impl Default for Evaluator {
     fn default() -> Self {
-        Evaluator::new(EvalConfig::default())
+        Evaluator::builder().build()
+    }
+}
+
+/// Builder for [`Evaluator`] — the workspace's clamping `with_*`
+/// idiom: a cheap default, chainable overrides that clamp rather than
+/// panic, and a `build()` that cannot fail.
+#[derive(Debug, Clone, Copy)]
+pub struct EvaluatorBuilder {
+    config: EvalConfig,
+    resilience: ResiliencePolicy,
+    batch_size: usize,
+}
+
+impl Default for EvaluatorBuilder {
+    fn default() -> Self {
+        EvaluatorBuilder {
+            config: EvalConfig::default(),
+            resilience: ResiliencePolicy::default(),
+            batch_size: DEFAULT_BATCH_SIZE,
+        }
+    }
+}
+
+impl EvaluatorBuilder {
+    /// Override the evaluation configuration (setting + variant).
+    pub fn with_config(mut self, config: EvalConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Override the resilience policy applied to every model call.
+    pub fn with_resilience(mut self, resilience: ResiliencePolicy) -> Self {
+        self.resilience = resilience;
+        self
+    }
+
+    /// Override the `answer_batch` batch size (clamped to ≥ 1).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Finish the builder.
+    pub fn build(self) -> Evaluator {
+        Evaluator {
+            config: self.config,
+            resilience: self.resilience,
+            batch_size: self.batch_size,
+        }
     }
 }
 
 impl Evaluator {
+    /// Start building an evaluator.
+    pub fn builder() -> EvaluatorBuilder {
+        EvaluatorBuilder::default()
+    }
+
     /// Create an evaluator with the given configuration and the default
     /// resilience policy (3 deliveries, exponential backoff, breaker
     /// on — all invisible while models never fail).
+    #[deprecated(
+        since = "0.10.0",
+        note = "build via Evaluator::builder(), or run through workload::WorkloadRunner"
+    )]
     pub fn new(config: EvalConfig) -> Self {
-        Evaluator {
-            config,
-            resilience: ResiliencePolicy::default(),
-            batch_size: DEFAULT_BATCH_SIZE,
-        }
+        Evaluator::builder().with_config(config).build()
     }
 
     /// Override the resilience policy applied to every model call.
@@ -420,5 +505,39 @@ mod tests {
         // Answer-shape mismatches are wrong.
         assert_eq!(score(&tf_pos, ParsedAnswer::Option(0)), Outcome::Wrong);
         assert_eq!(score(&mcq, ParsedAnswer::Yes), Outcome::Wrong);
+    }
+
+    #[test]
+    fn score_sibling_rounds() {
+        let base = Question {
+            id: 0,
+            taxonomy: TaxonomyKind::Ebay,
+            child: "a".into(),
+            child_level: 1,
+            parent_level: 0,
+            true_parent: "p".into(),
+            instance_typing: false,
+            body: QuestionBody::Sibling {
+                options: vec!["w".into(), "p".into(), "x".into()],
+                correct: Some(1),
+            },
+        };
+        // Gold child shown: pick it, miss it, or abstain (the index at
+        // or past the child count is the abstain slot).
+        assert_eq!(score(&base, ParsedAnswer::Option(1)), Outcome::Correct);
+        assert_eq!(score(&base, ParsedAnswer::Option(0)), Outcome::Wrong);
+        assert_eq!(score(&base, ParsedAnswer::Option(3)), Outcome::Missed);
+        assert_eq!(score(&base, ParsedAnswer::IDontKnow), Outcome::Missed);
+        assert_eq!(score(&base, ParsedAnswer::Unparsed), Outcome::Wrong);
+        assert_eq!(score(&base, ParsedAnswer::Yes), Outcome::Wrong);
+        // Gold child not shown: abstaining is the correct answer.
+        let miss = Question {
+            body: QuestionBody::Sibling { options: vec!["w".into(), "x".into()], correct: None },
+            ..base.clone()
+        };
+        assert_eq!(score(&miss, ParsedAnswer::IDontKnow), Outcome::Correct);
+        assert_eq!(score(&miss, ParsedAnswer::Option(2)), Outcome::Correct);
+        assert_eq!(score(&miss, ParsedAnswer::Option(0)), Outcome::Wrong);
+        assert_eq!(score(&miss, ParsedAnswer::Unparsed), Outcome::Wrong);
     }
 }

@@ -190,9 +190,11 @@ impl GridRunner {
         datasets: &[&Dataset],
         cells: &[GridCell],
     ) -> Vec<EvalReport> {
-        let evaluator = Evaluator::new(self.config)
+        let evaluator = Evaluator::builder()
+            .with_config(self.config)
             .with_resilience(self.resilience)
-            .with_batch_size(self.batch_size);
+            .with_batch_size(self.batch_size)
+            .build();
 
         // Split every cell into (level, question-range) work units —
         // cell-major, level-major, ascending start, so merging unit
@@ -389,7 +391,7 @@ mod tests {
             .flat_map(|m| {
                 dataset_refs
                     .iter()
-                    .map(|d| Evaluator::new(EvalConfig::default()).run(*m, d))
+                    .map(|d| Evaluator::default().run(*m, d))
             })
             .collect();
         let parallel = GridRunner::builder().with_threads(4).build().run_cross(&models, &dataset_refs);

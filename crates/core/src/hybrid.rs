@@ -14,7 +14,7 @@
 
 use crate::dataset::{DatasetBuilder, QuestionDataset};
 use crate::domain::TaxonomyKind;
-use crate::eval::{EvalConfig, Evaluator, LevelMetrics};
+use crate::eval::{Evaluator, LevelMetrics};
 use crate::model::{LanguageModel, Query};
 use crate::parse::{parse_tf, ParsedAnswer};
 use crate::prompts::PromptSetting;
@@ -185,7 +185,7 @@ impl HybridTaxonomy {
         cap: Option<usize>,
     ) -> Vec<(usize, f64)> {
         let builder = DatasetBuilder::new(full, self.kind, seed).sample_cap(cap);
-        let evaluator = Evaluator::new(EvalConfig::default());
+        let evaluator = Evaluator::default();
         let mut out = Vec::with_capacity(full.num_levels().saturating_sub(1));
         for child_level in 1..full.num_levels() {
             if child_level < self.cutoff {
@@ -218,7 +218,7 @@ pub fn recommended_cutoff(
     cap: Option<usize>,
 ) -> Option<usize> {
     let builder = DatasetBuilder::new(full, kind, seed).sample_cap(cap);
-    let evaluator = Evaluator::new(EvalConfig::default());
+    let evaluator = Evaluator::default();
     // Per-level model accuracy, measured once.
     let mut level_acc = Vec::new();
     for child_level in 1..full.num_levels() {
@@ -374,6 +374,7 @@ mod tests {
                 crate::question::GoldAnswer::Yes => "Yes.".to_owned(),
                 crate::question::GoldAnswer::No => "No.".to_owned(),
                 crate::question::GoldAnswer::Option(i) => format!("{})", (b'A' + i) as char),
+                crate::question::GoldAnswer::Abstain => "None of the above.".to_owned(),
             }))
         }
     }

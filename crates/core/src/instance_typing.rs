@@ -59,6 +59,10 @@ pub struct InstanceTypingBuilder<'t> {
 
 impl<'t> InstanceTypingBuilder<'t> {
     /// Create a builder; fails for the four excluded taxonomies.
+    #[deprecated(
+        since = "0.10.0",
+        note = "run through workload::InstanceTypingWorkload with a WorkloadContext instead"
+    )]
     pub fn new(
         taxonomy: &'t Taxonomy,
         kind: TaxonomyKind,
@@ -78,101 +82,116 @@ impl<'t> InstanceTypingBuilder<'t> {
 
     /// Build the Easy or Hard instance-typing dataset.
     pub fn build(&self, flavor: QuestionDataset) -> Result<Dataset, InstanceTypingError> {
-        if flavor == QuestionDataset::Mcq {
-            return Err(InstanceTypingError::McqNotDefined);
-        }
-        let t = self.taxonomy;
-        let generator = InstanceGenerator::new(self.kind, self.seed)
-            .expect("has_instances was checked in new()");
+        build_dataset(self.taxonomy, self.kind, self.seed, self.sample_cap, flavor)
+    }
+}
 
-        // Sample leaf concepts with the §2.2 confidence/margin.
-        let mut leaves = t.leaves();
-        let mut rng = fork(self.seed ^ (self.kind as u64) << 16, "instance-typing", 0);
-        leaves.shuffle(&mut rng);
-        let mut n = cochran_sample_size(leaves.len());
-        if let Some(cap) = self.sample_cap {
-            n = n.min(cap);
-        }
-        leaves.truncate(n);
+/// Build the Easy or Hard instance-typing dataset — the single
+/// construction path shared by the deprecated builder shim and
+/// [`crate::workload::InstanceTypingWorkload`].
+pub(crate) fn build_dataset(
+    t: &Taxonomy,
+    kind: TaxonomyKind,
+    seed: u64,
+    sample_cap: Option<usize>,
+    flavor: QuestionDataset,
+) -> Result<Dataset, InstanceTypingError> {
+    if !kind.has_instances() {
+        return Err(InstanceTypingError::Unsupported(kind));
+    }
+    if flavor == QuestionDataset::Mcq {
+        return Err(InstanceTypingError::McqNotDefined);
+    }
+    let generator =
+        InstanceGenerator::new(kind, seed).expect("has_instances was checked above");
 
-        let instances = generator.instances_for(t, &leaves, 1);
+    // Sample leaf concepts with the §2.2 confidence/margin.
+    let mut leaves = t.leaves();
+    let mut rng = fork(seed ^ (kind as u64) << 16, "instance-typing", 0);
+    leaves.shuffle(&mut rng);
+    let mut n = cochran_sample_size(leaves.len());
+    if let Some(cap) = sample_cap {
+        n = n.min(cap);
+    }
+    leaves.truncate(n);
 
-        // Group questions by target ancestor level.
-        let mut slices: Vec<Vec<Question>> = vec![Vec::new(); t.num_levels()];
-        let mut next_id = 1u64 << 48;
-        for instance in &instances {
-            // For synthesized instances (products) the leaf concept itself
-            // is the first target; for leaf-as-instance taxonomies the
-            // instance *is* the leaf, so targets start at its parent.
-            let anchor: NodeId = if generator.synthesizes() {
-                instance.leaf
-            } else {
-                match t.parent(instance.leaf) {
-                    Some(p) => p,
-                    None => continue,
+    let instances = generator.instances_for(t, &leaves, 1);
+
+    // Group questions by target ancestor level.
+    let mut slices: Vec<Vec<Question>> = vec![Vec::new(); t.num_levels()];
+    let mut next_id = 1u64 << 48;
+    for instance in &instances {
+        // For synthesized instances (products) the leaf concept itself
+        // is the first target; for leaf-as-instance taxonomies the
+        // instance *is* the leaf, so targets start at its parent.
+        let anchor: NodeId = if generator.synthesizes() {
+            instance.leaf
+        } else {
+            match t.parent(instance.leaf) {
+                Some(p) => p,
+                None => continue,
+            }
+        };
+        let instance_level = t.level(anchor) + 1;
+        for target in std::iter::once(anchor).chain(t.ancestors(anchor)) {
+            let target_level = t.level(target);
+            // Positive.
+            slices[target_level].push(Question {
+                id: post_inc(&mut next_id),
+                taxonomy: kind,
+                child: instance.name.clone(),
+                child_level: instance_level,
+                parent_level: target_level,
+                true_parent: t.name(target).to_owned(),
+                instance_typing: true,
+                body: QuestionBody::TrueFalse {
+                    candidate: t.name(target).to_owned(),
+                    expected_yes: true,
+                    negative: None,
+                },
+            });
+            // Negative.
+            let negative = match flavor {
+                QuestionDataset::Hard => {
+                    let sibs = t.siblings(target);
+                    sibs.choose(&mut rng).copied()
                 }
+                QuestionDataset::Easy => {
+                    let pool = t.nodes_at_level(target_level);
+                    pool.choose(&mut rng).copied().filter(|&c| c != target)
+                }
+                // lint:allow(P001, Mcq is rejected by the guard at the top of build_dataset before this match runs)
+                QuestionDataset::Mcq => unreachable!("rejected above"),
             };
-            let instance_level = t.level(anchor) + 1;
-            for target in std::iter::once(anchor).chain(t.ancestors(anchor)) {
-                let target_level = t.level(target);
-                // Positive.
+            if let Some(neg) = negative {
                 slices[target_level].push(Question {
                     id: post_inc(&mut next_id),
-                    taxonomy: self.kind,
+                    taxonomy: kind,
                     child: instance.name.clone(),
                     child_level: instance_level,
                     parent_level: target_level,
                     true_parent: t.name(target).to_owned(),
                     instance_typing: true,
                     body: QuestionBody::TrueFalse {
-                        candidate: t.name(target).to_owned(),
-                        expected_yes: true,
-                        negative: None,
+                        candidate: t.name(neg).to_owned(),
+                        expected_yes: false,
+                        negative: Some(match flavor {
+                            QuestionDataset::Hard => NegativeKind::Hard,
+                            _ => NegativeKind::Easy,
+                        }),
                     },
                 });
-                // Negative.
-                let negative = match flavor {
-                    QuestionDataset::Hard => {
-                        let sibs = t.siblings(target);
-                        sibs.choose(&mut rng).copied()
-                    }
-                    QuestionDataset::Easy => {
-                        let pool = t.nodes_at_level(target_level);
-                        pool.choose(&mut rng).copied().filter(|&c| c != target)
-                    }
-                    // lint:allow(P001, Mcq is rejected by the guard at the top of build before this match runs)
-                    QuestionDataset::Mcq => unreachable!("rejected above"),
-                };
-                if let Some(neg) = negative {
-                    slices[target_level].push(Question {
-                        id: post_inc(&mut next_id),
-                        taxonomy: self.kind,
-                        child: instance.name.clone(),
-                        child_level: instance_level,
-                        parent_level: target_level,
-                        true_parent: t.name(target).to_owned(),
-                        instance_typing: true,
-                        body: QuestionBody::TrueFalse {
-                            candidate: t.name(neg).to_owned(),
-                            expected_yes: false,
-                            negative: Some(match flavor {
-                                QuestionDataset::Hard => NegativeKind::Hard,
-                                _ => NegativeKind::Easy,
-                            }),
-                        },
-                    });
-                }
             }
         }
-
-        let levels = slices
-            .into_iter()
-            .enumerate()
-            .filter(|(_, qs)| !qs.is_empty())
-            .map(|(level, questions)| LevelSlice { child_level: level, questions, exemplars: Vec::new() })
-            .collect();
-        Ok(Dataset { taxonomy: self.kind, flavor, levels })
     }
+
+    let levels = slices
+        .into_iter()
+        .enumerate()
+        .filter(|(_, qs)| !qs.is_empty())
+        .map(|(level, questions)| LevelSlice { child_level: level, questions, exemplars: Vec::new() })
+        .collect();
+    Ok(Dataset { taxonomy: kind, flavor, levels })
 }
 
 fn post_inc(v: &mut u64) -> u64 {
@@ -182,6 +201,9 @@ fn post_inc(v: &mut u64) -> u64 {
 }
 
 #[cfg(test)]
+// The deprecated builder shim must keep working for one PR; its tests
+// exercise it deliberately.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use taxoglimpse_synth::{generate, GenOptions};

@@ -48,6 +48,7 @@ pub mod domain;
 pub mod enrich;
 pub mod eval;
 pub mod grid;
+pub mod hier;
 pub mod hybrid;
 pub mod instance_typing;
 pub mod metrics;
@@ -62,12 +63,14 @@ pub mod serve;
 pub mod shard;
 pub mod store;
 pub mod templates;
+pub mod workload;
 
 pub use cache::{CachedModel, ResponseCache};
 pub use dataset::{Dataset, DatasetBuilder, QuestionDataset};
 pub use domain::{Domain, TaxonomyKind};
 pub use eval::{EvalConfig, EvalReport, Evaluator};
 pub use grid::GridRunner;
+pub use hier::{DescentConfig, HierReport, HierWorkload, RouterConfig};
 pub use hybrid::HybridTaxonomy;
 pub use metrics::Metrics;
 pub use model::{LanguageModel, ModelError, Query, Response};
@@ -76,3 +79,6 @@ pub use question::{NegativeKind, Question, QuestionBody, QuestionKind};
 pub use resilience::{BackoffPolicy, BreakerPolicy, Resilient, ResiliencePolicy};
 pub use serve::{run_serve, ServeConfig, ServeReport, TrafficConfig};
 pub use shard::{ShardRouter, ShardRun, ShardedDataset};
+pub use workload::{
+    InstanceTypingWorkload, QaWorkload, Workload, WorkloadContext, WorkloadError, WorkloadRunner,
+};

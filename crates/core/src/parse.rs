@@ -130,11 +130,22 @@ pub fn parse_tf(response: &str) -> ParsedAnswer {
 const MCQ_ABSTENTIONS: [&str; 6] =
     ["don't know", "dont know", "do not know", "not sure", "none of", "cannot determine"];
 
+/// Index of the explicit abstain slot: the letter after 'd'. A response
+/// that resolves to 'e' ("E) None of the above", "The answer is E") can
+/// never name one of the four content options, so it parses as an
+/// abstention rather than an option index.
+const ABSTAIN_SLOT: u8 = 4;
+
 /// Parse an MCQ response into an option index.
 ///
 /// A decisive option reference wins over a *later* abstention phrase
 /// ("B) — none of the other options fit." picks B); the response only
-/// abstains when no option reference precedes the first hedge.
+/// abstains when no option reference precedes the first hedge. Two
+/// explicit abstain-option forms are recognized: the letter 'e'
+/// resolves to the abstain slot, and a response that *echoes* the
+/// option list (two or more distinct standalone "x)" references) before
+/// a bare "none of the above" is an abstention, not a pick of the first
+/// echoed letter.
 pub fn parse_mcq(response: &str) -> ParsedAnswer {
     let trimmed = response.trim();
     if trimmed.is_empty() {
@@ -150,6 +161,7 @@ pub fn parse_mcq(response: &str) -> ParsedAnswer {
         None => &lower[..],
     };
     match extract_option(scope) {
+        Some(opt) if opt >= ABSTAIN_SLOT => ParsedAnswer::IDontKnow,
         Some(opt) => ParsedAnswer::Option(opt),
         None if abstention.is_some() => ParsedAnswer::IDontKnow,
         None => ParsedAnswer::Unparsed,
@@ -175,6 +187,26 @@ fn extract_option(lower: &str) -> Option<u8> {
         }
     }
 
+    // An option-list echo ("A) x B) y … — none of the above.") names
+    // two or more DISTINCT standalone "x)" letters: the model is
+    // reciting the options, not answering with the first one. Only an
+    // explicit marker (pattern 1, handled above) extracts from such
+    // text; patterns 2 and 3 are suppressed so a trailing abstention
+    // phrase can decide.
+    let bytes = lower.as_bytes();
+    let mut seen = [false; (ABSTAIN_SLOT + 1) as usize];
+    for i in 0..bytes.len().saturating_sub(1) {
+        if bytes[i + 1] == b')' && (b'a'..=b'e').contains(&bytes[i]) {
+            let preceded_ok = i == 0 || !bytes[i - 1].is_ascii_alphanumeric();
+            if preceded_ok {
+                seen[(bytes[i] - b'a') as usize] = true;
+            }
+        }
+    }
+    if seen.iter().filter(|s| **s).count() >= 2 {
+        return None;
+    }
+
     // Pattern 2: a leading letter possibly wrapped in punctuation:
     // "B", "B)", "(b)", "b.", "B) Audio".
     let stripped = lower.trim_start_matches(['(', '[', '"', '\'', ' ']);
@@ -183,9 +215,8 @@ fn extract_option(lower: &str) -> Option<u8> {
     }
 
     // Pattern 3: anywhere a standalone "x)" appears.
-    let bytes = lower.as_bytes();
     for i in 0..bytes.len().saturating_sub(1) {
-        if bytes[i + 1] == b')' && (b'a'..=b'd').contains(&bytes[i]) {
+        if bytes[i + 1] == b')' && (b'a'..=b'e').contains(&bytes[i]) {
             let preceded_ok = i == 0 || !bytes[i - 1].is_ascii_alphanumeric();
             if preceded_ok {
                 return Some(bytes[i] - b'a');
@@ -196,8 +227,9 @@ fn extract_option(lower: &str) -> Option<u8> {
     None
 }
 
-/// If `s` starts with an option letter a–d followed by a non-alphanumeric
-/// boundary (or end of string), return its index.
+/// If `s` starts with an option letter a–e followed by a non-alphanumeric
+/// boundary (or end of string), return its index ('e' is the abstain
+/// slot, [`ABSTAIN_SLOT`]).
 fn letter_at(s: &str) -> Option<u8> {
     let mut chars = s.chars();
     let first = chars.next()?;
@@ -206,6 +238,7 @@ fn letter_at(s: &str) -> Option<u8> {
         'b' => 1,
         'c' => 2,
         'd' => 3,
+        'e' => ABSTAIN_SLOT,
         _ => return None,
     };
     match chars.next() {
@@ -349,6 +382,44 @@ mod tests {
         // But an option named only AFTER the hedge is not a commitment.
         assert_eq!(parse_mcq("I don't know — maybe b)?"), ParsedAnswer::IDontKnow);
         assert_eq!(parse_mcq("Not sure. Could be c)."), ParsedAnswer::IDontKnow);
+    }
+
+    #[test]
+    fn mcq_explicit_abstain_option() {
+        // The abstain letter resolves to an abstention, never Option(4).
+        assert_eq!(parse_mcq("E) None of the above"), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_mcq("E"), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_mcq("(e)"), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_mcq("The answer is E."), ParsedAnswer::IDontKnow);
+        assert_eq!(parse_mcq("I would choose e) here."), ParsedAnswer::IDontKnow);
+        // A word starting with 'e' is not the abstain letter.
+        assert_eq!(parse_mcq("Everything fits"), ParsedAnswer::Unparsed);
+    }
+
+    #[test]
+    fn mcq_option_list_echo_then_abstain() {
+        // Echoing the option list before a bare hedge is an abstention,
+        // not a pick of the first echoed letter.
+        assert_eq!(
+            parse_mcq("A) Audio B) Video C) Garden D) Books — none of the above."),
+            ParsedAnswer::IDontKnow
+        );
+        assert_eq!(
+            parse_mcq("a) x b) y: none of these, I don't know."),
+            ParsedAnswer::IDontKnow
+        );
+        // A single decisive letter before the hedge still wins.
+        assert_eq!(
+            parse_mcq("B) — none of the other options fit."),
+            ParsedAnswer::Option(1)
+        );
+        // An explicit marker beats the echo suppression.
+        assert_eq!(
+            parse_mcq("A) x B) y — the answer is b, none of the others."),
+            ParsedAnswer::Option(1)
+        );
+        // An echo with no hedge stays unparsed rather than guessing.
+        assert_eq!(parse_mcq("A) Audio B) Video C) Garden"), ParsedAnswer::Unparsed);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! exemplars with balanced Yes/No), and Chain-of-Thoughts ("Let's think
 //! step by step.").
 
-use crate::question::{GoldAnswer, Question};
+use crate::question::{GoldAnswer, Question, ABSTAIN_OPTION};
 use crate::templates::{render_question_into, TemplateVariant};
 use std::fmt;
 
@@ -57,6 +57,10 @@ pub fn render_gold_into(gold: GoldAnswer, out: &mut String) {
         GoldAnswer::Option(i) => {
             out.push((b'A' + i) as char);
             out.push(')');
+        }
+        GoldAnswer::Abstain => {
+            out.push_str(ABSTAIN_OPTION);
+            out.push('.');
         }
     }
 }
@@ -227,5 +231,6 @@ mod tests {
         assert_eq!(render_gold(GoldAnswer::No), "No.");
         assert_eq!(render_gold(GoldAnswer::Option(0)), "A)");
         assert_eq!(render_gold(GoldAnswer::Option(3)), "D)");
+        assert_eq!(render_gold(GoldAnswer::Abstain), "None of the above.");
     }
 }

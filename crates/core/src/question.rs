@@ -3,6 +3,13 @@
 use crate::domain::TaxonomyKind;
 use taxoglimpse_json::{FromJson, Json, JsonError, ToJson};
 
+/// The abstain option appended to every sibling MCQ (rendered as the
+/// letter after the last child option, e.g. "E) None of the above" when
+/// four children are shown). Shared by the templates, the parser's
+/// abstention vocabulary, and the gold-answer renderer so all three
+/// stay in sync.
+pub const ABSTAIN_OPTION: &str = "None of the above";
+
 /// Which negative-sampling regime produced a negative question (§2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NegativeKind {
@@ -43,6 +50,19 @@ pub enum QuestionBody {
         /// Index (0–3) of the correct option.
         correct: u8,
     },
+    /// A constrained-descent sibling round: the options are exactly the
+    /// children of one taxonomy node shown this round (1–4 of them),
+    /// plus an implicit [`ABSTAIN_OPTION`] rendered as the next letter.
+    /// Invalid labels are impossible by construction — every selectable
+    /// option names a real child, and everything else is an abstention.
+    Sibling {
+        /// The child concepts shown this round, in taxonomy child order.
+        options: Vec<String>,
+        /// Index of the gold child among the shown options, or `None`
+        /// when the gold child is not in this round (the correct
+        /// response is the abstain option).
+        correct: Option<u8>,
+    },
 }
 
 impl QuestionBody {
@@ -50,7 +70,7 @@ impl QuestionBody {
     pub fn kind(&self) -> QuestionKind {
         match self {
             QuestionBody::TrueFalse { .. } => QuestionKind::TrueFalse,
-            QuestionBody::Mcq { .. } => QuestionKind::Mcq,
+            QuestionBody::Mcq { .. } | QuestionBody::Sibling { .. } => QuestionKind::Mcq,
         }
     }
 }
@@ -92,7 +112,7 @@ impl Question {
     pub fn expected_yes(&self) -> Option<bool> {
         match &self.body {
             QuestionBody::TrueFalse { expected_yes, .. } => Some(*expected_yes),
-            QuestionBody::Mcq { .. } => None,
+            QuestionBody::Mcq { .. } | QuestionBody::Sibling { .. } => None,
         }
     }
 
@@ -102,6 +122,10 @@ impl Question {
         match &self.body {
             QuestionBody::TrueFalse { candidate, .. } => candidate,
             QuestionBody::Mcq { options, correct } => &options[*correct as usize],
+            QuestionBody::Sibling { options, correct } => match correct {
+                Some(c) => &options[*c as usize],
+                None => ABSTAIN_OPTION,
+            },
         }
     }
 }
@@ -123,6 +147,10 @@ impl ToJson for QuestionBody {
                 "Mcq",
                 Json::obj(vec![("options", options.to_json()), ("correct", correct.to_json())]),
             )]),
+            QuestionBody::Sibling { options, correct } => Json::obj(vec![(
+                "Sibling",
+                Json::obj(vec![("options", options.to_json()), ("correct", correct.to_json())]),
+            )]),
         }
     }
 }
@@ -140,8 +168,13 @@ impl FromJson for QuestionBody {
                 options: body.field_as("options")?,
                 correct: body.field_as("correct")?,
             })
+        } else if let Some(body) = json.get("Sibling") {
+            Ok(QuestionBody::Sibling {
+                options: body.field_as("options")?,
+                correct: body.field_as("correct")?,
+            })
         } else {
-            Err(JsonError::msg("expected a `TrueFalse` or `Mcq` variant object"))
+            Err(JsonError::msg("expected a `TrueFalse`, `Mcq`, or `Sibling` variant object"))
         }
     }
 }
@@ -186,6 +219,9 @@ pub enum GoldAnswer {
     No,
     /// MCQ: the correct option index.
     Option(u8),
+    /// Sibling round where the gold child is not among the shown
+    /// options: the correct response is the abstain option.
+    Abstain,
 }
 
 impl Question {
@@ -195,6 +231,8 @@ impl Question {
             QuestionBody::TrueFalse { expected_yes: true, .. } => GoldAnswer::Yes,
             QuestionBody::TrueFalse { expected_yes: false, .. } => GoldAnswer::No,
             QuestionBody::Mcq { correct, .. } => GoldAnswer::Option(*correct),
+            QuestionBody::Sibling { correct: Some(c), .. } => GoldAnswer::Option(*c),
+            QuestionBody::Sibling { correct: None, .. } => GoldAnswer::Abstain,
         }
     }
 }
@@ -250,5 +288,31 @@ mod tests {
         let json = taxoglimpse_json::to_string(&q).unwrap();
         let back: Question = taxoglimpse_json::from_str(&json).unwrap();
         assert_eq!(back, q);
+    }
+
+    #[test]
+    fn sibling_gold_and_round_trip() {
+        let hit = Question {
+            body: QuestionBody::Sibling {
+                options: vec!["a".into(), "b".into(), "c".into()],
+                correct: Some(1),
+            },
+            ..tf(true)
+        };
+        assert_eq!(hit.gold(), GoldAnswer::Option(1));
+        assert_eq!(hit.shown_candidate(), "b");
+        assert_eq!(hit.kind(), QuestionKind::Mcq);
+        assert_eq!(hit.expected_yes(), None);
+        let miss = Question {
+            body: QuestionBody::Sibling { options: vec!["a".into()], correct: None },
+            ..tf(true)
+        };
+        assert_eq!(miss.gold(), GoldAnswer::Abstain);
+        assert_eq!(miss.shown_candidate(), ABSTAIN_OPTION);
+        for q in [hit, miss] {
+            let json = taxoglimpse_json::to_string(&q).unwrap();
+            let back: Question = taxoglimpse_json::from_str(&json).unwrap();
+            assert_eq!(back, q);
+        }
     }
 }

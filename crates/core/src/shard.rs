@@ -451,7 +451,6 @@ pub fn run_grid_sharded(
 mod tests {
     use super::*;
     use crate::dataset::{DatasetBuilder, QuestionDataset};
-    use crate::eval::EvalConfig;
     use crate::model::FixedAnswerModel;
     use taxoglimpse_json::to_string;
     use taxoglimpse_synth::{generate, GenOptions};
@@ -496,7 +495,7 @@ mod tests {
         let d = dataset(&t);
         let p = SubtreePartition::new(&t, NUM_SLOTS);
         let sharded = ShardedDataset::partition(&d, &t, &p);
-        let evaluator = Evaluator::new(EvalConfig::default());
+        let evaluator = Evaluator::default();
         let model = FixedAnswerModel::always_yes();
 
         let baseline = evaluator.run(&model, &d);
@@ -583,7 +582,7 @@ mod tests {
         let d = dataset(&t);
         let p = SubtreePartition::new(&t, NUM_SLOTS);
         let sharded = ShardedDataset::partition(&d, &t, &p);
-        let evaluator = Evaluator::new(EvalConfig::default());
+        let evaluator = Evaluator::default();
         let bomb = Bomb;
         let stacks: Vec<&dyn LanguageModel> = vec![&bomb, &bomb];
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {

@@ -3,7 +3,7 @@
 //! of" for TF; "suitable" / "proper" for MCQ).
 
 use crate::domain::{Domain, TaxonomyKind};
-use crate::question::{Question, QuestionBody};
+use crate::question::{Question, QuestionBody, ABSTAIN_OPTION};
 
 /// Template paraphrase variant (§2.2: results are stable under slight
 /// paraphrasing; the paper reports the canonical templates).
@@ -116,6 +116,45 @@ pub fn render_mcq_into(
     }
 }
 
+/// Append a constrained-descent sibling round: the shown children as
+/// lettered options, then the abstain option as the next letter — a
+/// full four-child round reads "… D) <child> E) None of the above".
+pub fn render_sibling_into(
+    kind: TaxonomyKind,
+    variant: TemplateVariant,
+    child: &str,
+    options: &[String],
+    out: &mut String,
+) {
+    out.push_str("What is the most ");
+    out.push_str(variant.appropriate());
+    out.push_str(" supertype of ");
+    mcq_phrase_into(kind, child, out);
+    out.push('?');
+    for (i, option) in options.iter().enumerate() {
+        out.push(' ');
+        out.push((b'A' + i as u8) as char);
+        out.push_str(") ");
+        out.push_str(option);
+    }
+    out.push(' ');
+    out.push((b'A' + options.len() as u8) as char);
+    out.push_str(") ");
+    out.push_str(ABSTAIN_OPTION);
+}
+
+/// Render a constrained-descent sibling round.
+pub fn render_sibling(
+    kind: TaxonomyKind,
+    variant: TemplateVariant,
+    child: &str,
+    options: &[String],
+) -> String {
+    let mut out = String::new();
+    render_sibling_into(kind, variant, child, options, &mut out);
+    out
+}
+
 /// Render the MCQ question text of Table 3.
 pub fn render_mcq(
     kind: TaxonomyKind,
@@ -136,6 +175,9 @@ pub fn render_question_into(q: &Question, variant: TemplateVariant, out: &mut St
         }
         QuestionBody::Mcq { options, .. } => {
             render_mcq_into(q.taxonomy, variant, &q.child, options, out)
+        }
+        QuestionBody::Sibling { options, .. } => {
+            render_sibling_into(q.taxonomy, variant, &q.child, options, out)
         }
     }
 }
@@ -220,6 +262,22 @@ impl CustomTemplate {
                 );
                 self.mcq.replace("{child}", &q.child).replace("{options}", &opts)
             }
+            QuestionBody::Sibling { options, .. } => {
+                let mut opts = String::new();
+                for (i, option) in options.iter().enumerate() {
+                    if i > 0 {
+                        opts.push(' ');
+                    }
+                    opts.push((b'A' + i as u8) as char);
+                    opts.push_str(") ");
+                    opts.push_str(option);
+                }
+                opts.push(' ');
+                opts.push((b'A' + options.len() as u8) as char);
+                opts.push_str(") ");
+                opts.push_str(ABSTAIN_OPTION);
+                self.mcq.replace("{child}", &q.child).replace("{options}", &opts)
+            }
         }
     }
 }
@@ -290,6 +348,18 @@ mod tests {
         );
         let p = render_mcq(TaxonomyKind::Google, TemplateVariant::ParaphraseA, "Wireless Speakers", &options);
         assert!(p.contains("most suitable"));
+    }
+
+    #[test]
+    fn sibling_round_appends_abstain_letter() {
+        let options = vec!["Audio".to_string(), "Video".into(), "Garden".into(), "Books".into()];
+        let s = render_sibling(TaxonomyKind::Google, TemplateVariant::Canonical, "Wireless Speakers", &options);
+        assert_eq!(
+            s,
+            "What is the most appropriate supertype of Wireless Speakers product? A) Audio B) Video C) Garden D) Books E) None of the above"
+        );
+        let short = render_sibling(TaxonomyKind::Google, TemplateVariant::Canonical, "Wireless Speakers", &options[..2].to_vec());
+        assert!(short.ends_with("A) Audio B) Video C) None of the above"));
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub const D101_ROOT_FILES: &[&str] = &[
     "crates/core/src/parse.rs",
     "crates/core/src/metrics.rs",
     "crates/core/src/grid.rs",
+    "crates/core/src/hier.rs",
+    "crates/core/src/workload.rs",
     "crates/core/src/shard.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/resilience.rs",

@@ -18,6 +18,8 @@ pub const M001_PATHS: &[&str] = &[
     "crates/core/src/metrics.rs",
     "crates/core/src/casestudy.rs",
     "crates/core/src/hybrid.rs",
+    "crates/core/src/hier.rs",
+    "crates/core/src/workload.rs",
     "crates/core/src/resilience.rs",
     "crates/core/src/cache.rs",
     "crates/core/src/shard.rs",

@@ -52,6 +52,10 @@ impl LanguageModel for RandomBaseline {
                 }
             }
             QuestionBody::Mcq { .. } => format!("{})", (b'A' + (h % 4) as u8) as char),
+            // Uniform over the shown children plus the abstain slot.
+            QuestionBody::Sibling { options, .. } => {
+                format!("{})", (b'A' + (h % (options.len() as u64 + 1)) as u8) as char)
+            }
         };
         Ok(Response::new(text))
     }
@@ -69,7 +73,7 @@ impl LanguageModel for MajorityYesBaseline {
     fn answer(&self, query: &Query<'_>) -> Result<Response, ModelError> {
         Ok(Response::new(match &query.question.body {
             QuestionBody::TrueFalse { .. } => "Yes.".to_owned(),
-            QuestionBody::Mcq { .. } => "A)".to_owned(),
+            QuestionBody::Mcq { .. } | QuestionBody::Sibling { .. } => "A)".to_owned(),
         }))
     }
 }
@@ -122,6 +126,19 @@ impl LexicalBaseline {
                 }
             }
             QuestionBody::Mcq { options, .. } => {
+                let best = options
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        cache
+                            .similarity(&query.question.child, a.1)
+                            .total_cmp(&cache.similarity(&query.question.child, b.1))
+                    })
+                    .map(|(i, _)| i as u8)
+                    .unwrap_or(0);
+                format!("{})", (b'A' + best) as char)
+            }
+            QuestionBody::Sibling { options, .. } => {
                 let best = options
                     .iter()
                     .enumerate()
@@ -223,6 +240,18 @@ impl LanguageModel for NgramVectorBaseline {
                 }
             }
             QuestionBody::Mcq { options, .. } => {
+                let best = options
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| {
+                        Self::cosine(&query.question.child, a.1)
+                            .total_cmp(&Self::cosine(&query.question.child, b.1))
+                    })
+                    .map(|(i, _)| i as u8)
+                    .unwrap_or(0);
+                format!("{})", (b'A' + best) as char)
+            }
+            QuestionBody::Sibling { options, .. } => {
                 let best = options
                     .iter()
                     .enumerate()

@@ -73,7 +73,11 @@ impl<M: LanguageModel> InstructionTuned<M> {
             (parsed, gold),
             (ParsedAnswer::Yes, taxoglimpse_core::question::GoldAnswer::Yes)
                 | (ParsedAnswer::No, taxoglimpse_core::question::GoldAnswer::No)
-        ) || matches!((parsed, gold), (ParsedAnswer::Option(i), taxoglimpse_core::question::GoldAnswer::Option(j)) if i == j);
+        ) || matches!((parsed, gold), (ParsedAnswer::Option(i), taxoglimpse_core::question::GoldAnswer::Option(j)) if i == j)
+            || matches!(
+                (parsed, gold),
+                (ParsedAnswer::IDontKnow, taxoglimpse_core::question::GoldAnswer::Abstain)
+            );
         if is_correct {
             return base_answer;
         }
@@ -93,6 +97,9 @@ impl<M: LanguageModel> InstructionTuned<M> {
                 taxoglimpse_core::question::GoldAnswer::Option(j) => {
                     format!("{})", (b'A' + ((j + 1) % 4)) as char)
                 }
+                // When abstaining was right, the tuned model's forced
+                // guess commits to the first shown option.
+                taxoglimpse_core::question::GoldAnswer::Abstain => "A)".to_owned(),
             }
         } else {
             return base_answer;

@@ -113,7 +113,11 @@ impl KnowledgeModel {
         let id = self.profile.id;
         let kind = question.taxonomy;
         match &question.body {
-            QuestionBody::Mcq { .. } => calib::anchor(id, kind, QuestionDataset::Mcq),
+            // Sibling rounds are the MCQ regime: same option-picking
+            // task, just with taxonomy-child options and an abstain slot.
+            QuestionBody::Mcq { .. } | QuestionBody::Sibling { .. } => {
+                calib::anchor(id, kind, QuestionDataset::Mcq)
+            }
             QuestionBody::TrueFalse { negative, .. } => {
                 let (a_easy, m_easy) = calib::anchor(id, kind, QuestionDataset::Easy);
                 match negative {
@@ -274,6 +278,29 @@ impl KnowledgeModel {
                     .fold(0.0f64, f64::max);
                 to_correct - best_distractor
             }
+            QuestionBody::Sibling { options, correct } => match correct {
+                // Gold child shown: the MCQ margin, over however many
+                // children this round presents.
+                Some(c) => {
+                    let to_correct = cache.similarity(&question.child, &options[*c as usize]);
+                    let best_distractor = options
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != *c as usize)
+                        .map(|(_, o)| cache.similarity(&question.child, o))
+                        .fold(0.0f64, f64::max);
+                    to_correct - best_distractor
+                }
+                // Gold child absent: uniformly low similarity to every
+                // shown child is evidence *for* the correct abstention.
+                None => {
+                    let best_option = options
+                        .iter()
+                        .map(|o| cache.similarity(&question.child, o))
+                        .fold(0.0f64, f64::max);
+                    regime_center(question.taxonomy) - best_option
+                }
+            },
         }
     }
 }

@@ -149,6 +149,54 @@ impl SimulatedLlm {
                     })
                 }
             }
+            QuestionBody::Sibling { options, correct: gold } => match gold {
+                Some(gold) => {
+                    if correct {
+                        Verdict::Option(*gold)
+                    } else if options.len() == 1 {
+                        // Only the gold child is shown: the sole wrong
+                        // move left is abstaining.
+                        Verdict::IDontKnow
+                    } else {
+                        similarity::with_cache(|cache| {
+                            let mut best = (0u8, f64::NEG_INFINITY);
+                            for (i, option) in options.iter().enumerate() {
+                                if i as u8 == *gold {
+                                    continue;
+                                }
+                                let sim = cache.similarity(&question.child, option)
+                                    + 0.05 * Self::draw_from(base, 2 + i as u64);
+                                if sim > best.1 {
+                                    best = (i as u8, sim);
+                                }
+                            }
+                            Verdict::Option(best.0)
+                        })
+                    }
+                }
+                // Gold child not among the shown options: the correct
+                // behaviour is the abstain slot; the failure mode is
+                // committing to the most surface-similar shown child —
+                // exactly the hallucinated-descent error the constrained
+                // workload is built to measure.
+                None => {
+                    if correct {
+                        Verdict::IDontKnow
+                    } else {
+                        similarity::with_cache(|cache| {
+                            let mut best = (0u8, f64::NEG_INFINITY);
+                            for (i, option) in options.iter().enumerate() {
+                                let sim = cache.similarity(&question.child, option)
+                                    + 0.05 * Self::draw_from(base, 2 + i as u64);
+                                if sim > best.1 {
+                                    best = (i as u8, sim);
+                                }
+                            }
+                            Verdict::Option(best.0)
+                        })
+                    }
+                }
+            },
         }
     }
 }
@@ -315,7 +363,7 @@ mod tests {
         let report = Evaluator::default().run(&m, &d);
         assert!(report.overall.miss_rate() > 0.85, "M={}", report.overall.miss_rate());
         // Few-shot prompting rescues it (Finding 4 / Figure 4(c,d)).
-        let few = Evaluator::new(EvalConfig { setting: PromptSetting::FewShot, ..Default::default() }).run(&m, &d);
+        let few = Evaluator::builder().with_config(EvalConfig { setting: PromptSetting::FewShot, ..Default::default() }).build().run(&m, &d);
         assert!(few.overall.miss_rate() < 0.3, "few-shot M={}", few.overall.miss_rate());
         assert!(few.overall.accuracy() > report.overall.accuracy());
     }

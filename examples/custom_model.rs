@@ -21,6 +21,19 @@ struct SurfaceBaseline {
     threshold: f64,
 }
 
+/// The option letter whose text is most trigram-similar to `child`.
+fn pick_most_similar(child: &str, options: &[String]) -> String {
+    let best = options
+        .iter()
+        .enumerate()
+        .max_by(|a, b| {
+            trigram_similarity(child, a.1).total_cmp(&trigram_similarity(child, b.1))
+        })
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    format!("{})", (b'A' + best as u8) as char)
+}
+
 impl LanguageModel for SurfaceBaseline {
     fn name(&self) -> &str {
         "trigram-baseline"
@@ -35,17 +48,9 @@ impl LanguageModel for SurfaceBaseline {
                     "No.".to_owned()
                 }
             }
-            QuestionBody::Mcq { options, .. } => {
-                let best = options
-                    .iter()
-                    .enumerate()
-                    .max_by(|a, b| {
-                        trigram_similarity(&query.question.child, a.1)
-                            .total_cmp(&trigram_similarity(&query.question.child, b.1))
-                    })
-                    .map(|(i, _)| i)
-                    .unwrap_or(0);
-                format!("{})", (b'A' + best as u8) as char)
+            QuestionBody::Mcq { options, .. } => pick_most_similar(&query.question.child, &options[..]),
+            QuestionBody::Sibling { options, .. } => {
+                pick_most_similar(&query.question.child, options)
             }
         };
         Ok(Response::new(text))
@@ -56,7 +61,8 @@ fn main() {
     let baseline = SurfaceBaseline { threshold: 0.18 };
     let zoo = ModelZoo::default_zoo();
     let gpt4 = zoo.get(ModelId::Gpt4).expect("zoo covers all models");
-    let evaluator = Evaluator::new(EvalConfig::default());
+    let runner = WorkloadRunner::default();
+    let workload = QaWorkload::new(QuestionDataset::Hard).with_sample_cap(Some(150));
 
     println!(
         "{:<12} {:>18} {:>12}",
@@ -69,17 +75,15 @@ fn main() {
         (TaxonomyKind::Ebay, 1.0),
     ] {
         let taxonomy = generate(kind, GenOptions { seed: 42, scale }).expect("valid options");
-        let dataset = DatasetBuilder::new(&taxonomy, kind, 42)
-            .sample_cap(Some(150))
-            .build(QuestionDataset::Hard)
+        let cx = WorkloadContext::new(&taxonomy, kind, 42);
+        let reports = runner
+            .run_cross(&workload, &[&baseline, gpt4.as_ref()], &[cx])
             .expect("probe levels exist");
-        let ours = evaluator.run(&baseline, &dataset);
-        let theirs = evaluator.run(gpt4.as_ref(), &dataset);
         println!(
             "{:<12} {:>18.3} {:>12.3}",
             kind.to_string(),
-            ours.overall.accuracy(),
-            theirs.overall.accuracy()
+            reports[0].overall.accuracy(),
+            reports[1].overall.accuracy()
         );
     }
     println!(

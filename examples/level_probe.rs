@@ -64,12 +64,15 @@ fn main() {
         println!("   {}: {text}   [{outcome:?}]\n", model.name());
     }
 
-    // The anecdote, generalized: the full per-level accuracy curve.
-    let dataset = DatasetBuilder::new(&taxonomy, kind, 42)
-        .sample_cap(Some(150))
-        .build(QuestionDataset::Hard)
+    // The anecdote, generalized: the full per-level accuracy curve,
+    // through the unified Workload API.
+    let report = WorkloadRunner::default()
+        .run(
+            &QaWorkload::new(QuestionDataset::Hard).with_sample_cap(Some(150)),
+            model.as_ref(),
+            &WorkloadContext::new(&taxonomy, kind, 42),
+        )
         .expect("probe levels exist");
-    let report = Evaluator::new(EvalConfig::default()).run(model.as_ref(), &dataset);
     println!("{} per-level accuracy on {} (hard, zero-shot):", model.name(), kind);
     for (level, accuracy) in report.accuracy_by_level() {
         let bar = "#".repeat((accuracy * 40.0).round() as usize);

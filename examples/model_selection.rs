@@ -46,7 +46,9 @@ fn main() {
     let zoo = ModelZoo::default_zoo();
     let arcs: Vec<_> = candidates.iter().map(|&id| zoo.get(id).expect("zoo")).collect();
     let models: Vec<&dyn LanguageModel> = arcs.iter().map(|m| m.as_ref() as &dyn LanguageModel).collect();
-    let reports = GridRunner::builder().build().run_cross(&models, &[&dataset]);
+    let reports = WorkloadRunner::default()
+        .run_cross(&QaWorkload::new(QuestionDataset::Hard), &models, &[WorkloadContext::new(&taxonomy, kind, 42)])
+        .expect("probe levels exist");
     println!("{}", render(&leaderboard(&reports)));
 
     // 2. Cost: price a production month through the serving layer.

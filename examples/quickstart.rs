@@ -34,12 +34,14 @@ fn main() {
     );
 
     // 3. Evaluate GPT-4 and Llama-2-7B (simulated, calibrated on the
-    //    paper's published results).
+    //    paper's published results) through the unified Workload API.
     let zoo = ModelZoo::default_zoo();
-    let evaluator = Evaluator::new(EvalConfig::default());
+    let runner = WorkloadRunner::default();
+    let workload = QaWorkload::new(QuestionDataset::Hard);
+    let cx = WorkloadContext::new(&taxonomy, TaxonomyKind::Ebay, 42);
     for id in [ModelId::Gpt4, ModelId::Llama2_7b] {
         let model = zoo.get(id).expect("zoo covers all models");
-        let report = evaluator.run(model.as_ref(), &dataset);
+        let report = runner.run(&workload, model.as_ref(), &cx).expect("eBay has probe levels");
         println!("\n{} on eBay hard (zero-shot):", report.model);
         println!("  overall: {}", report.overall);
         for level in &report.by_level {
@@ -58,7 +60,7 @@ fn main() {
     //    still fails as Failed, and reports availability alongside
     //    accuracy — no crash, no lost report.
     let flaky = FaultInjector::new(SimulatedLlm::new(ModelId::Gpt4), FaultPlan::uniform(7, 0.2));
-    let degraded = evaluator.run(&flaky, &dataset);
+    let degraded = runner.run(&workload, &flaky, &cx).expect("eBay has probe levels");
     println!(
         "\nGPT-4 behind a 20% fault injector: A={:.3}, availability {:.1}%",
         degraded.overall.accuracy(),

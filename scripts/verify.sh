@@ -198,4 +198,26 @@ cargo run --release --offline -q -p taxoglimpse-bench --bin bench_serve -- \
     --check "$SMOKE_OUT"
 rm -rf "$SMOKE_OUT" "$SMOKE_CACHE"
 
+# 10. Hierarchical-classification bench plumbing, same contract as
+#     stages 4–7/9: the committed BENCH_hier.json must pass shape
+#     validation — including its headline invariant, the constrained
+#     descent's invalid-label count exactly 0 in every (model,
+#     taxonomy) cell, and outcome counts partitioning the instance
+#     count — and a quick-mode smoke (tiny caps, snapshot cache in a
+#     temp dir) must produce a file that passes the same validation.
+#     The smoke run re-proves the determinism invariant in-process
+#     because bench_hier aborts if any cell's report differs across
+#     worker counts {1,2,8}.
+echo "==> hier bench smoke (TAXOGLIMPSE_BENCH_QUICK)"
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_hier -- \
+    --check BENCH_hier.json
+SMOKE_OUT="$(mktemp)"
+SMOKE_CACHE="$(mktemp -d)"
+TAXOGLIMPSE_BENCH_QUICK=1 TAXOGLIMPSE_CACHE_DIR="$SMOKE_CACHE" \
+    cargo run --release --offline -q \
+    -p taxoglimpse-bench --bin bench_hier -- --label "verify smoke" --out "$SMOKE_OUT"
+cargo run --release --offline -q -p taxoglimpse-bench --bin bench_hier -- \
+    --check "$SMOKE_OUT"
+rm -rf "$SMOKE_OUT" "$SMOKE_CACHE"
+
 echo "==> verify OK: hermetic tier-1 passed"

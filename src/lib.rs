@@ -17,14 +17,14 @@
 //! ```
 //! use taxoglimpse::prelude::*;
 //!
-//! // Generate a small shopping taxonomy, build its hard dataset, and
-//! // evaluate one simulated model on it.
+//! // Generate a small shopping taxonomy and evaluate one simulated
+//! // model on its hard QA workload through the unified Workload API.
 //! let tax = generate(TaxonomyKind::Ebay, GenOptions::default()).unwrap();
-//! let dataset = DatasetBuilder::new(&tax, TaxonomyKind::Ebay, 7)
-//!     .build(QuestionDataset::Hard)
-//!     .unwrap();
+//! let cx = WorkloadContext::new(&tax, TaxonomyKind::Ebay, 7);
 //! let model = ModelZoo::default_zoo().get(ModelId::Gpt4).unwrap();
-//! let report = Evaluator::new(EvalConfig::default()).run(model.as_ref(), &dataset);
+//! let report = WorkloadRunner::default()
+//!     .run(&QaWorkload::new(QuestionDataset::Hard), model.as_ref(), &cx)
+//!     .unwrap();
 //! assert!(report.overall.accuracy() > 0.5);
 //! ```
 
@@ -38,9 +38,11 @@ pub use taxoglimpse_synth as synth;
 pub use taxoglimpse_taxonomy as taxonomy;
 
 /// Convenient glob-import surface covering the common workflow types:
-/// dataset construction, the fallible model interface, evaluation
-/// (sequential and grid), resilience, fault injection, and the
-/// virtual-time serving layer.
+/// dataset construction, the fallible model interface, the unified
+/// [`Workload`](taxoglimpse_core::workload::Workload) surface (grid QA,
+/// instance typing, hierarchical classification), evaluation (sequential
+/// and grid), resilience, fault injection, and the virtual-time serving
+/// layer.
 pub mod prelude {
     pub use taxoglimpse_core::{
         cache::{CachedModel, ResponseCache},
@@ -48,6 +50,7 @@ pub mod prelude {
         domain::{Domain, TaxonomyKind},
         eval::{EvalConfig, EvalReport, Evaluator},
         grid::GridRunner,
+        hier::{DescentConfig, HierMetrics, HierReport, HierWorkload, RouterConfig},
         metrics::{Metrics, Outcome},
         model::{LanguageModel, ModelError, Query, Response},
         prompts::PromptSetting,
@@ -55,6 +58,10 @@ pub mod prelude {
         resilience::{BackoffPolicy, BreakerPolicy, Resilient, ResiliencePolicy},
         serve::{run_serve, ServeConfig, ServeReport, TenantSpec, TrafficConfig},
         shard::{run_grid_sharded, run_sharded, ShardRouter, ShardRun, ShardedDataset},
+        workload::{
+            InstanceTypingWorkload, QaWorkload, Workload, WorkloadContext, WorkloadError,
+            WorkloadRunner,
+        },
     };
     pub use taxoglimpse_report::histogram::LatencyHistogram;
     pub use taxoglimpse_report::merge::{merge_reports, merge_sharded, MergeError};

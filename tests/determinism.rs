@@ -55,7 +55,7 @@ fn reports_identical_for_identical_seeds_distinct_for_different() {
     let d = DatasetBuilder::new(&t, TaxonomyKind::Google, 6)
         .build(QuestionDataset::Easy)
         .unwrap();
-    let evaluator = Evaluator::new(EvalConfig::default());
+    let evaluator = Evaluator::default();
     let r1 = evaluator.run(ModelZoo::with_seed(9).get(ModelId::Gpt35).unwrap().as_ref(), &d);
     let r2 = evaluator.run(ModelZoo::with_seed(9).get(ModelId::Gpt35).unwrap().as_ref(), &d);
     let r3 = evaluator.run(ModelZoo::with_seed(10).get(ModelId::Gpt35).unwrap().as_ref(), &d);
@@ -155,14 +155,12 @@ fn legacy_name_streams_are_pinned() {
 #[test]
 fn instance_typing_and_casestudy_are_deterministic() {
     use taxoglimpse::core::casestudy::{CaseStudy, CaseStudyConfig};
-    use taxoglimpse::core::instance_typing::InstanceTypingBuilder;
     let t = generate(TaxonomyKind::Amazon, GenOptions { seed: 4, scale: 0.05 }).unwrap();
     let mk_it = || {
         taxoglimpse::json::to_string(
-            &InstanceTypingBuilder::new(&t, TaxonomyKind::Amazon, 4)
-                .unwrap()
-                .sample_cap(Some(25))
-                .build(QuestionDataset::Hard)
+            &InstanceTypingWorkload::new(QuestionDataset::Hard)
+                .with_sample_cap(Some(25))
+                .build(&WorkloadContext::new(&t, TaxonomyKind::Amazon, 4))
                 .unwrap(),
         )
         .unwrap()

@@ -1,7 +1,6 @@
 //! End-to-end pipeline tests spanning all crates: synthesize → build
 //! datasets → prompt → simulate → parse → aggregate.
 
-use taxoglimpse::core::instance_typing::InstanceTypingBuilder;
 use taxoglimpse::prelude::*;
 
 fn dataset(kind: TaxonomyKind, scale: f64, flavor: QuestionDataset, cap: usize) -> (taxoglimpse::taxonomy::Taxonomy, Dataset) {
@@ -19,7 +18,7 @@ use taxoglimpse::core::dataset::Dataset;
 fn full_pipeline_runs_for_every_taxonomy_and_flavor() {
     let zoo = ModelZoo::default_zoo();
     let model = zoo.get(ModelId::Llama3_8b).unwrap();
-    let evaluator = Evaluator::new(EvalConfig::default());
+    let evaluator = Evaluator::default();
     for kind in TaxonomyKind::ALL {
         let scale = if kind == TaxonomyKind::Ncbi { 0.003 } else { 0.15 };
         for flavor in QuestionDataset::ALL {
@@ -42,7 +41,7 @@ fn all_eighteen_models_answer_parseably() {
     // scoring well is evidence the loop is airtight.
     let (_t, d) = dataset(TaxonomyKind::Ebay, 1.0, QuestionDataset::Hard, 30);
     let zoo = ModelZoo::default_zoo();
-    let evaluator = Evaluator::new(EvalConfig::default());
+    let evaluator = Evaluator::default();
     for model in zoo.all() {
         let report = evaluator.run(model.as_ref(), &d);
         assert_eq!(report.overall.total(), d.len(), "{}", report.model);
@@ -58,7 +57,7 @@ fn prompt_settings_flow_through_the_whole_stack() {
     let model = zoo.get(ModelId::Llama2_7b).unwrap();
     let mut misses = Vec::new();
     for setting in PromptSetting::ALL {
-        let report = Evaluator::new(EvalConfig { setting, ..Default::default() }).run(model.as_ref(), &d);
+        let report = Evaluator::builder().with_config(EvalConfig { setting, ..Default::default() }).build().run(model.as_ref(), &d);
         assert_eq!(report.setting, setting);
         misses.push(report.overall.miss_rate());
     }
@@ -72,15 +71,14 @@ fn prompt_settings_flow_through_the_whole_stack() {
 fn instance_typing_pipeline_end_to_end() {
     let zoo = ModelZoo::default_zoo();
     let model = zoo.get(ModelId::Gpt4).unwrap();
-    let evaluator = Evaluator::new(EvalConfig::default());
+    let evaluator = Evaluator::default();
     for kind in TaxonomyKind::ALL.into_iter().filter(|k| k.has_instances()) {
         let scale = if kind == TaxonomyKind::Ncbi { 0.003 } else { 0.1 };
         let taxonomy = generate(kind, GenOptions { seed: 99, scale }).expect("valid options");
-        let d = InstanceTypingBuilder::new(&taxonomy, kind, 99)
-            .expect("instance-bearing kind")
-            .sample_cap(Some(40))
-            .build(QuestionDataset::Hard)
-            .expect("hard flavor defined");
+        let d = InstanceTypingWorkload::new(QuestionDataset::Hard)
+            .with_sample_cap(Some(40))
+            .build(&WorkloadContext::new(&taxonomy, kind, 99))
+            .expect("hard flavor defined for instance-bearing kinds");
         assert!(!d.is_empty(), "{kind}");
         let report = evaluator.run(model.as_ref(), &d);
         assert!(report.overall.accuracy() > 0.2, "{kind}: {}", report.overall.accuracy());
@@ -100,7 +98,7 @@ fn template_paraphrases_leave_results_stable() {
     let mut accuracies = Vec::new();
     for variant in TemplateVariant::ALL {
         let report =
-            Evaluator::new(EvalConfig { variant, ..Default::default() }).run(model.as_ref(), &d);
+            Evaluator::builder().with_config(EvalConfig { variant, ..Default::default() }).build().run(model.as_ref(), &d);
         accuracies.push(report.overall.accuracy());
     }
     let spread = accuracies.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
@@ -112,7 +110,7 @@ fn template_paraphrases_leave_results_stable() {
 fn reports_serialize_for_downstream_tools() {
     let (_t, d) = dataset(TaxonomyKind::Schema, 0.5, QuestionDataset::Mcq, 40);
     let zoo = ModelZoo::default_zoo();
-    let report = Evaluator::new(EvalConfig::default()).run(zoo.get(ModelId::Mixtral8x7b).unwrap().as_ref(), &d);
+    let report = Evaluator::default().run(zoo.get(ModelId::Mixtral8x7b).unwrap().as_ref(), &d);
     let json = taxoglimpse::json::to_string(&report).expect("reports are serializable");
     let back: taxoglimpse::core::eval::EvalReport = taxoglimpse::json::from_str(&json).expect("round trip");
     assert_eq!(back.overall, report.overall);

@@ -93,6 +93,32 @@ fn mcq_near_miss_forms_stay_unparsed() {
 }
 
 #[test]
+fn mcq_abstain_option_corpus() {
+    use ParsedAnswer::{IDontKnow, Option, Unparsed};
+    check(
+        &[
+            // The explicit abstain slot: letter 'e' in any decisive form.
+            ("E) None of the above.", IDontKnow),
+            ("The answer is E", IDontKnow),
+            ("Answer: E.", IDontKnow),
+            ("e", IDontKnow),
+            ("(E)", IDontKnow),
+            // A bare "none of the above" after an echoed option list is
+            // an abstention, not a pick of the first echoed option.
+            ("A) Audio B) Video C) Garden D) Books — none of the above.", IDontKnow),
+            ("Options were A) cars B) boats C) trains D) planes. None of the above fits.", IDontKnow),
+            // A decisive pick before the echo still wins.
+            ("B) Video — the rest, including None of the above, are wrong.", Option(1)),
+            // 'e' embedded in a longer word is not the abstain letter.
+            ("every option seems plausible", Unparsed),
+            ("elephants are mammals", Unparsed),
+        ],
+        parse_mcq,
+        "mcq abstain option",
+    );
+}
+
+#[test]
 fn tf_first_decisive_token_wins_corpus() {
     use ParsedAnswer::{No, Yes};
     check(

@@ -57,7 +57,7 @@ fn chunked_parallel_grid_is_byte_identical_to_sequential() {
 
     for setting in PromptSetting::ALL {
         let config = EvalConfig { setting, ..Default::default() };
-        let evaluator = Evaluator::new(config);
+        let evaluator = Evaluator::builder().with_config(config).build();
         let sequential: Vec<String> = models
             .iter()
             .flat_map(|m| dataset_refs.iter().map(|d| {
@@ -192,7 +192,7 @@ fn reports_are_worker_count_invariant() {
     let options = GenOptions { seed: 31, scale: 0.02 };
     let zoo = ModelZoo::default_zoo();
     let model = zoo.get(ModelId::Gpt4).unwrap();
-    let evaluator = Evaluator::new(EvalConfig::default());
+    let evaluator = Evaluator::default();
     for kind in [TaxonomyKind::Ncbi, TaxonomyKind::Glottolog] {
         let one = generate_par(kind, options, 1).unwrap();
         let eight = generate_par(kind, options, 8).unwrap();
@@ -223,7 +223,7 @@ fn batched_and_cached_grid_is_byte_identical_to_sequential() {
 
     for setting in [PromptSetting::ZeroShot, PromptSetting::FewShot] {
         let config = EvalConfig { setting, ..Default::default() };
-        let evaluator = Evaluator::new(config);
+        let evaluator = Evaluator::builder().with_config(config).build();
         let sequential: Vec<String> = [gpt4.as_ref(), flan.as_ref()]
             .iter()
             .flat_map(|m| {
@@ -301,7 +301,7 @@ fn batched_and_cached_grid_is_fault_invariant() {
     let sequential: Vec<String> = {
         let model =
             FaultInjector::new(SimulatedLlm::new(ModelId::Gpt4), plan.clone());
-        let evaluator = Evaluator::new(config).with_resilience(policy);
+        let evaluator = Evaluator::builder().with_config(config).build().with_resilience(policy);
         dataset_refs
             .iter()
             .map(|d| taxoglimpse::json::to_string(&evaluator.run(&model, d)).unwrap())

@@ -288,6 +288,15 @@ fn check_dataset_invariants(seed: u64, flavor_pick: usize) {
                     sorted.dedup();
                     assert_eq!(sorted.len(), 4);
                 }
+                taxoglimpse::core::question::QuestionBody::Sibling { options, correct } => {
+                    if let Some(c) = correct {
+                        assert!((*c as usize) < options.len(), "correct index in range");
+                    }
+                    let mut sorted = options.clone();
+                    sorted.sort();
+                    sorted.dedup();
+                    assert_eq!(sorted.len(), options.len(), "sibling options distinct");
+                }
             }
         }
     }

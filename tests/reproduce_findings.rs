@@ -16,7 +16,7 @@ fn run(
         .build(flavor)
         .expect("probe levels exist");
     let zoo = ModelZoo::default_zoo();
-    Evaluator::new(EvalConfig { setting, ..Default::default() })
+    Evaluator::builder().with_config(EvalConfig { setting, ..Default::default() }).build()
         .run(zoo.get(model).unwrap().as_ref(), &dataset)
 }
 
@@ -161,17 +161,15 @@ fn finding_4_prompting_effects() {
 /// species.
 #[test]
 fn finding_5_instance_typing_gap() {
-    use taxoglimpse::core::instance_typing::InstanceTypingBuilder;
     let zoo = ModelZoo::default_zoo();
     let model = zoo.get(ModelId::Gpt4).unwrap();
-    let evaluator = Evaluator::new(EvalConfig::default());
+    let evaluator = Evaluator::default();
 
     let accuracy = |kind: TaxonomyKind, scale: f64| {
         let taxonomy = generate(kind, GenOptions { seed: 55, scale }).expect("valid");
-        let dataset = InstanceTypingBuilder::new(&taxonomy, kind, 55)
-            .unwrap()
-            .sample_cap(Some(150))
-            .build(QuestionDataset::Hard)
+        let dataset = InstanceTypingWorkload::new(QuestionDataset::Hard)
+            .with_sample_cap(Some(150))
+            .build(&WorkloadContext::new(&taxonomy, kind, 55))
             .unwrap();
         evaluator.run(model.as_ref(), &dataset).overall.accuracy()
     };

@@ -86,7 +86,7 @@ fn measure_grid(
     flavor: QuestionDataset,
 ) -> ComparisonSummary {
     let zoo = ModelZoo::default_zoo();
-    let evaluator = Evaluator::new(EvalConfig::default());
+    let evaluator = Evaluator::default();
     let mut reports = Vec::new();
     for &(kind, scale) in kinds {
         let t = generate(kind, GenOptions { seed: 4242, scale }).unwrap();
@@ -150,7 +150,7 @@ fn tables_5_6_7_cells_near_paper() {
 #[test]
 fn specialized_hard_top_accuracy_is_about_seventy_percent() {
     let zoo = ModelZoo::default_zoo();
-    let evaluator = Evaluator::new(EvalConfig::default());
+    let evaluator = Evaluator::default();
     for (kind, scale) in [
         (TaxonomyKind::Glottolog, 1.0),
         (TaxonomyKind::GeoNames, 1.0),

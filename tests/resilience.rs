@@ -81,7 +81,7 @@ fn zero_rate_stack_is_byte_identical_to_bare_model() {
             policy,
         );
         assert_eq!(stacked.name(), bare.name());
-        let evaluator = Evaluator::new(EvalConfig::default());
+        let evaluator = Evaluator::default();
         let bare_report = evaluator.run(&bare, &dataset);
         let stacked_report = evaluator.run(&stacked, &dataset);
         assert_eq!(
@@ -136,7 +136,7 @@ fn heavy_faults_degrade_gracefully_into_availability() {
             SimulatedLlm::with_seed(ModelId::Gpt35, seed),
             FaultPlan::uniform(rng.gen_range(0u64..1 << 32), rate),
         );
-        let report = Evaluator::new(EvalConfig::default()).run(&injector, &dataset);
+        let report = Evaluator::default().run(&injector, &dataset);
         let metrics = report.overall;
         assert_eq!(metrics.total(), dataset.len());
         let expected = 1.0 - metrics.failed as f64 / metrics.total() as f64;
@@ -155,9 +155,9 @@ fn retries_buy_availability() {
     let dataset = small_dataset(7);
     let plan = FaultPlan::uniform(3, 0.4).with_malformed_rate(0.0);
 
-    let no_retries = Evaluator::new(EvalConfig::default())
+    let no_retries = Evaluator::default()
         .with_resilience(ResiliencePolicy::default().with_max_attempts(1).without_breaker());
-    let with_retries = Evaluator::new(EvalConfig::default())
+    let with_retries = Evaluator::default()
         .with_resilience(ResiliencePolicy::default().with_max_attempts(5).without_breaker());
 
     let fragile = FaultInjector::new(SimulatedLlm::new(ModelId::Gpt4), plan.clone());
